@@ -1,0 +1,177 @@
+package antlayer
+
+import (
+	"io"
+
+	"antlayer/internal/coffmangraham"
+	"antlayer/internal/core"
+	"antlayer/internal/dag"
+	"antlayer/internal/dot"
+	"antlayer/internal/layering"
+	"antlayer/internal/longestpath"
+	"antlayer/internal/minwidth"
+	"antlayer/internal/netsimplex"
+	"antlayer/internal/promote"
+	"antlayer/internal/sugiyama"
+)
+
+// Graph is a directed graph with dense integer vertices 0..N()-1. Edges
+// (u, v) point from the higher layer to the lower one in every layering
+// this library produces.
+type Graph = dag.Graph
+
+// Edge is a directed edge.
+type Edge = dag.Edge
+
+// Layering is a layer assignment over a Graph; layers are 1-based and every
+// edge (u, v) satisfies Layer(u) > Layer(v).
+type Layering = layering.Layering
+
+// Metrics bundles the paper's five evaluation criteria for a layering.
+type Metrics = layering.Metrics
+
+// Proper is a layering made proper by dummy-vertex insertion.
+type Proper = layering.Proper
+
+// ACOParams configures the ant colony (see DefaultACOParams for the
+// paper's settings).
+type ACOParams = core.Params
+
+// ACOResult is the full outcome of a colony run including per-tour history.
+type ACOResult = core.Result
+
+// MinWidthParams configures a single MinWidth run.
+type MinWidthParams = minwidth.Params
+
+// Drawing is the output of the Sugiyama pipeline.
+type Drawing = sugiyama.Drawing
+
+// PipelineConfig configures the Sugiyama pipeline (see Draw).
+type PipelineConfig = sugiyama.Config
+
+// Selection, stretch and heuristic modes for ACOParams.
+const (
+	SelectPseudoRandom  = core.SelectPseudoRandom
+	SelectArgMax        = core.SelectArgMax
+	SelectRoulette      = core.SelectRoulette
+	StretchBetween      = core.StretchBetween
+	StretchEnds         = core.StretchEnds
+	HeuristicObjective  = core.HeuristicObjective
+	HeuristicLayerWidth = core.HeuristicLayerWidth
+)
+
+// NewGraph returns a graph with n isolated vertices.
+func NewGraph(n int) *Graph { return dag.New(n) }
+
+// DefaultACOParams returns the parameters of the paper's main experiments
+// (10 tours, alpha=1, beta=3, unit dummy width, argmax selection).
+func DefaultACOParams() ACOParams { return core.DefaultParams() }
+
+// Layerer is a layering algorithm. All constructors below return one.
+type Layerer interface {
+	Layer(g *Graph) (*Layering, error)
+}
+
+type layererFunc func(g *Graph) (*Layering, error)
+
+func (f layererFunc) Layer(g *Graph) (*Layering, error) { return f(g) }
+
+// LongestPath returns the Longest-Path Layering algorithm (Algorithm 1 of
+// the paper): minimum height, linear time, often wide.
+func LongestPath() Layerer {
+	return layererFunc(longestpath.Layer)
+}
+
+// MinWidth returns the MinWidth heuristic (Algorithm 2 of the paper) with
+// explicit parameters.
+func MinWidth(p MinWidthParams) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return minwidth.Layer(g, p) })
+}
+
+// MinWidthBest returns MinWidth scanning the (UBW, C) parameter grid used
+// in the paper's experiments and keeping the narrowest layering.
+func MinWidthBest(dummyWidth float64) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return minwidth.LayerBest(g, dummyWidth) })
+}
+
+// CoffmanGraham returns the Coffman–Graham width-bounded layering with at
+// most width real vertices per layer.
+func CoffmanGraham(width int) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return coffmangraham.Layer(g, width) })
+}
+
+// NetworkSimplex returns the Gansner et al. network simplex layering,
+// which minimises the total edge span (equivalently the dummy vertex
+// count). It is the exact method the Promote Layering heuristic
+// approximates.
+func NetworkSimplex() Layerer {
+	return layererFunc(netsimplex.Layer)
+}
+
+// NetworkSimplexBalanced is NetworkSimplex followed by the balance pass:
+// vertices with equal in- and out-degree move to the least crowded layer
+// of their span, evening out layer widths at unchanged total edge span.
+func NetworkSimplexBalanced() Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return netsimplex.LayerBalanced(g, true) })
+}
+
+// AntColony returns the paper's ACO layering algorithm.
+func AntColony(p ACOParams) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return core.Layer(g, p) })
+}
+
+// AntColonyRun runs the colony and returns the full result including the
+// objective value and per-tour convergence history.
+func AntColonyRun(g *Graph, p ACOParams) (*ACOResult, error) {
+	return core.Run(g, p)
+}
+
+// WithPromotion wraps a layerer with the Promote Layering heuristic of
+// Nikolov and Tarassov as post-processing, the "+PL" variants of the
+// paper's evaluation.
+func WithPromotion(base Layerer) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) {
+		l, err := base.Layer(g)
+		if err != nil {
+			return nil, err
+		}
+		improved, _ := promote.Apply(l)
+		return improved, nil
+	})
+}
+
+// Promote applies the Promote Layering heuristic to an existing layering
+// and returns the improved copy.
+func Promote(l *Layering) *Layering {
+	improved, _ := promote.Apply(l)
+	return improved
+}
+
+// Draw runs the full Sugiyama pipeline (cycle removal, layering, dummy
+// insertion, crossing minimisation, coordinates) on g, which may contain
+// cycles, using the given layerer.
+func Draw(g *Graph, l Layerer, cfg *PipelineConfig) (*Drawing, error) {
+	var c sugiyama.Config
+	if cfg != nil {
+		c = *cfg
+	} else {
+		c = sugiyama.DefaultConfig(nil)
+	}
+	c.Layerer = sugiyama.LayererFunc(l.Layer)
+	return sugiyama.Run(g, c)
+}
+
+// ReadDOT parses a digraph in DOT format and returns the graph together
+// with the node-name mapping.
+func ReadDOT(r io.Reader) (*Graph, []string, error) {
+	named, err := dot.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return named.Graph, named.Names, nil
+}
+
+// WriteDOT serialises g in DOT format.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	return dot.Write(w, g, name)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"antlayer/internal/dot"
+)
+
+func TestRunEdgeLists(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-per-group", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 19 {
+		t.Fatalf("group dirs = %d, want 19", len(groups))
+	}
+	// Every file parses back into a valid DAG of the advertised size.
+	path := filepath.Join(dir, "n010", "g0000.edges")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dot.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || !g.IsAcyclic() {
+		t.Fatalf("n=%d acyclic=%v", g.N(), g.IsAcyclic())
+	}
+}
+
+func TestRunDOTFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-per-group", "1", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "n010", "g0000.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph") {
+		t.Fatal("not a DOT file")
+	}
+	if _, err := dot.ReadString(string(data)); err != nil {
+		t.Fatalf("generated DOT unparsable: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunUnwritableDir(t *testing.T) {
+	if err := run([]string{"-out", "/proc/definitely/not/writable", "-per-group", "1"}); err == nil {
+		t.Fatal("unwritable output dir accepted")
+	}
+}

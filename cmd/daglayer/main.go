@@ -1,0 +1,210 @@
+// Command daglayer layers a DAG read from a DOT file (or stdin) with a
+// chosen algorithm and reports the paper's quality metrics, optionally
+// emitting an SVG or ASCII drawing via the Sugiyama pipeline.
+//
+// Usage:
+//
+//	daglayer -algo aco [-in graph.dot] [-promote] [-svg out.svg] [-ascii]
+//	         [-dummy-width 1.0] [-ants 10] [-tours 10] [-alpha 1] [-beta 3]
+//	         [-seed 1] [-cg-width 4]
+//
+// Algorithms: aco (default), lpl, minwidth, cg (Coffman–Graham), ns
+// (network simplex).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"antlayer"
+	"antlayer/internal/dot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "daglayer:", err)
+		os.Exit(1)
+	}
+}
+
+// buildACO assembles colony parameters from the CLI flags.
+func buildACO(ants, tours int, alpha, beta, dummyWidth float64, seed int64) antlayer.ACOParams {
+	p := antlayer.DefaultACOParams()
+	p.Ants = ants
+	p.Tours = tours
+	p.Alpha = alpha
+	p.Beta = beta
+	p.DummyWidth = dummyWidth
+	p.Seed = seed
+	return p
+}
+
+// runComparison layers g with every algorithm and prints one row each.
+func runComparison(w io.Writer, g *antlayer.Graph, dummyWidth float64, cgWidth int, aco antlayer.ACOParams) error {
+	algos := []struct {
+		name string
+		l    antlayer.Layerer
+	}{
+		{"lpl", antlayer.LongestPath()},
+		{"lpl+promote", antlayer.WithPromotion(antlayer.LongestPath())},
+		{"minwidth", antlayer.MinWidthBest(dummyWidth)},
+		{fmt.Sprintf("cg(w=%d)", cgWidth), antlayer.CoffmanGraham(cgWidth)},
+		{"netsimplex", antlayer.NetworkSimplex()},
+		{"aco", antlayer.AntColony(aco)},
+	}
+	fmt.Fprintf(w, "graph: %d vertices, %d edges\n", g.N(), g.M())
+	fmt.Fprintf(w, "%-12s %7s %11s %11s %8s %8s\n",
+		"algorithm", "height", "width(+d)", "width(-d)", "dummies", "density")
+	for _, a := range algos {
+		l, err := a.l.Layer(g)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		m := l.ComputeMetrics(dummyWidth)
+		fmt.Fprintf(w, "%-12s %7d %11.1f %11.1f %8d %8d\n",
+			a.name, m.Height, m.WidthIncl, m.WidthExcl, m.DummyCount, m.EdgeDensity)
+	}
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("daglayer", flag.ContinueOnError)
+	var (
+		in         = fs.String("in", "", "input file (default: stdin)")
+		format     = fs.String("format", "dot", "input format: dot | edges (corpusgen edge lists)")
+		algo       = fs.String("algo", "aco", "layering algorithm: aco|lpl|minwidth|cg|ns")
+		compare    = fs.Bool("compare", false, "run every algorithm and print a comparison table")
+		doPromote  = fs.Bool("promote", false, "apply the Promote Layering post-processing step")
+		svgOut     = fs.String("svg", "", "write an SVG drawing to this file")
+		rankOut    = fs.String("rank-dot", "", "write a rank=same DOT file with the computed layering")
+		ascii      = fs.Bool("ascii", false, "print an ASCII drawing")
+		dummyWidth = fs.Float64("dummy-width", 1.0, "width of a dummy vertex (nd_width)")
+		ants       = fs.Int("ants", 10, "aco: colony size")
+		tours      = fs.Int("tours", 10, "aco: number of tours")
+		alpha      = fs.Float64("alpha", 1, "aco: pheromone exponent")
+		beta       = fs.Float64("beta", 3, "aco: heuristic exponent")
+		seed       = fs.Int64("seed", 1, "aco: random seed")
+		cgWidth    = fs.Int("cg-width", 4, "cg: maximum real vertices per layer")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var g *antlayer.Graph
+	var names []string
+	var err error
+	switch *format {
+	case "dot":
+		g, names, err = antlayer.ReadDOT(r)
+	case "edges":
+		g, err = dot.ReadEdgeList(r)
+		if err == nil {
+			names = make([]string, g.N())
+		}
+	default:
+		return fmt.Errorf("unknown input format %q (want dot|edges)", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *compare {
+		return runComparison(stdout, g, *dummyWidth, *cgWidth, buildACO(*ants, *tours, *alpha, *beta, *dummyWidth, *seed))
+	}
+
+	var layerer antlayer.Layerer
+	switch *algo {
+	case "aco":
+		layerer = antlayer.AntColony(buildACO(*ants, *tours, *alpha, *beta, *dummyWidth, *seed))
+	case "lpl":
+		layerer = antlayer.LongestPath()
+	case "minwidth":
+		layerer = antlayer.MinWidthBest(*dummyWidth)
+	case "cg":
+		layerer = antlayer.CoffmanGraham(*cgWidth)
+	case "ns":
+		layerer = antlayer.NetworkSimplex()
+	default:
+		return fmt.Errorf("unknown algorithm %q (want aco|lpl|minwidth|cg|ns)", *algo)
+	}
+	if *doPromote {
+		layerer = antlayer.WithPromotion(layerer)
+	}
+
+	l, err := layerer.Layer(g)
+	if err != nil {
+		return err
+	}
+	m := l.ComputeMetrics(*dummyWidth)
+	fmt.Fprintf(stdout, "graph: %d vertices, %d edges\n", g.N(), g.M())
+	fmt.Fprintf(stdout, "algorithm: %s (promote=%v)\n", *algo, *doPromote)
+	fmt.Fprintf(stdout, "height:           %d\n", m.Height)
+	fmt.Fprintf(stdout, "width incl dummy: %.2f\n", m.WidthIncl)
+	fmt.Fprintf(stdout, "width excl dummy: %.2f\n", m.WidthExcl)
+	fmt.Fprintf(stdout, "dummy vertices:   %d\n", m.DummyCount)
+	fmt.Fprintf(stdout, "edge density:     %d\n", m.EdgeDensity)
+	for li, layer := range l.Layers() {
+		fmt.Fprintf(stdout, "L%-3d", li+1)
+		for _, v := range layer {
+			name := names[v]
+			if name == "" {
+				name = fmt.Sprintf("v%d", v)
+			}
+			fmt.Fprintf(stdout, " %s", name)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if *rankOut != "" {
+		f, err := os.Create(*rankOut)
+		if err != nil {
+			return err
+		}
+		if err := dot.WriteLayered(f, l, "layered"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *rankOut)
+	}
+
+	if *svgOut != "" || *ascii {
+		d, err := antlayer.Draw(g, layerer, nil)
+		if err != nil {
+			return err
+		}
+		if *ascii {
+			if err := d.WriteASCII(stdout); err != nil {
+				return err
+			}
+		}
+		if *svgOut != "" {
+			f, err := os.Create(*svgOut)
+			if err != nil {
+				return err
+			}
+			if err := d.WriteSVG(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *svgOut)
+		}
+	}
+	return nil
+}

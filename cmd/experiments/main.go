@@ -1,0 +1,251 @@
+// Command experiments regenerates the paper's evaluation: figures 4-9
+// (§VII), the α/β and nd_width parameter-tuning studies (§VIII) and the
+// ablations documented in DESIGN.md, printing the same series the paper
+// plots as aligned text tables.
+//
+// Usage:
+//
+//	experiments -all                 # everything (full corpus takes minutes)
+//	experiments -fig 4               # one figure
+//	experiments -tuning alphabeta    # §VIII α/β study
+//	experiments -tuning ndwidth      # §VIII nd_width study
+//	experiments -ablation            # selection/stretch/heuristic ablations
+//	experiments -shapes              # qualitative checks vs the paper
+//
+// Common flags: -seed, -per-group (sample size per corpus group; 0 = the
+// full 1277-graph corpus), -ants, -tours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"antlayer/internal/core"
+	"antlayer/internal/experiments"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/stats"
+)
+
+// sum adds two measurements field-wise.
+func sum(a, b experiments.Measurement) experiments.Measurement {
+	return experiments.Measurement{
+		WidthIncl:   a.WidthIncl + b.WidthIncl,
+		WidthExcl:   a.WidthExcl + b.WidthExcl,
+		Height:      a.Height + b.Height,
+		Dummies:     a.Dummies + b.Dummies,
+		EdgeDensity: a.EdgeDensity + b.EdgeDensity,
+		Millis:      a.Millis + b.Millis,
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig      = fs.Int("fig", 0, "regenerate one figure (4..9)")
+		tuning   = fs.String("tuning", "", "parameter study: alphabeta|ndwidth")
+		ablation = fs.Bool("ablation", false, "run the ablation studies")
+		extras   = fs.Bool("extras", false, "extended comparison incl. NetworkSimplex and Coffman-Graham")
+		gap      = fs.Bool("gap", false, "optimality-gap study against the exact solver (small n)")
+		gapN     = fs.Int("gap-n", 10, "graph size for the gap study (<= 16)")
+		shapes   = fs.Bool("shapes", false, "check qualitative shapes against the paper")
+		all      = fs.Bool("all", false, "run everything")
+		seed     = fs.Int64("seed", 7, "corpus seed")
+		perGroup = fs.Int("per-group", 8, "graphs per corpus group (0 = full corpus)")
+		ants     = fs.Int("ants", 10, "colony size")
+		tours    = fs.Int("tours", 10, "tours per colony run")
+		workers  = fs.Int("workers", 1, "parallel graph evaluations (timing series need 1)")
+		family   = fs.String("family", "sparse", "corpus family: sparse|trees|layered|dense")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fam, err := graphgen.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: *seed, PerGroup: *perGroup, DummyWidth: 1, ACO: core.DefaultParams(), Workers: *workers, Family: fam}
+	opts.ACO.Ants = *ants
+	opts.ACO.Tours = *tours
+
+	if !*all && *fig == 0 && *tuning == "" && !*ablation && !*shapes && !*extras && !*gap {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -fig N, -tuning X, -ablation, -extras, -gap or -shapes")
+	}
+
+	needComparison := *all || *fig != 0 || *shapes
+	var res *experiments.Results
+	if needComparison {
+		fmt.Fprintf(w, "running corpus comparison (seed=%d, per-group=%d)...\n", *seed, *perGroup)
+		var err error
+		res, err = experiments.Run(opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	writeFig := func(n int) error {
+		pair, err := res.Figure(n)
+		if err != nil {
+			return err
+		}
+		for _, f := range pair {
+			fmt.Fprintln(w)
+			if err := f.WriteTable(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch {
+	case *fig != 0:
+		if err := writeFig(*fig); err != nil {
+			return err
+		}
+	case *all:
+		for n := 4; n <= 9; n++ {
+			if err := writeFig(n); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *shapes || *all {
+		fmt.Fprintln(w, "\nqualitative shape checks (paper §VII):")
+		rep := res.CheckShapes()
+		for _, c := range rep.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "  [%s] %-7s %s (%s)\n", status, c.Figure, c.Claim, c.Detail)
+		}
+	}
+
+	if *tuning == "alphabeta" || *all {
+		fmt.Fprintln(w)
+		alphas := []float64{1, 2, 3, 4, 5}
+		betas := []float64{1, 2, 3, 4, 5}
+		tOpts := opts
+		if tOpts.PerGroup == 0 || tOpts.PerGroup > 4 {
+			tOpts.PerGroup = 4 // 25 grid points; keep the study tractable
+		}
+		cells, err := experiments.AlphaBetaStudy(tOpts, alphas, betas)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteAlphaBetaTable(w, cells, alphas, betas); err != nil {
+			return err
+		}
+	}
+
+	if *tuning == "ndwidth" || *all {
+		fmt.Fprintln(w)
+		values := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
+		tOpts := opts
+		if tOpts.PerGroup == 0 || tOpts.PerGroup > 4 {
+			tOpts.PerGroup = 4
+		}
+		cells, err := experiments.NdWidthStudy(tOpts, values)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteNdWidthTable(w, cells); err != nil {
+			return err
+		}
+	}
+
+	if *extras || *all {
+		fmt.Fprintln(w, "\nextended comparison (DESIGN.md E10):")
+		ext, err := experiments.RunExtended(opts)
+		if err != nil {
+			return err
+		}
+		names := []string{
+			experiments.NameLPL, experiments.NameLPLPL,
+			experiments.NameMinWidthPL, experiments.NameAntColony,
+			experiments.NameNetworkSimplex, experiments.NameCoffmanGraham,
+		}
+		headers := []string{"algorithm", "width incl", "width excl", "height", "dummies", "density", "ms"}
+		var rows [][]string
+		for _, name := range names {
+			means := ext.Mean[name]
+			total := experiments.Measurement{}
+			for _, m := range means {
+				total = sum(total, m)
+			}
+			k := float64(len(means))
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.2f", total.WidthIncl/k),
+				fmt.Sprintf("%.2f", total.WidthExcl/k),
+				fmt.Sprintf("%.2f", total.Height/k),
+				fmt.Sprintf("%.2f", total.Dummies/k),
+				fmt.Sprintf("%.2f", total.EdgeDensity/k),
+				fmt.Sprintf("%.3f", total.Millis/k),
+			})
+		}
+		if err := stats.WriteAligned(w, headers, rows); err != nil {
+			return err
+		}
+		for _, c := range ext.CheckExtendedShapes().Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "  [%s] %s (%s)\n", status, c.Claim, c.Detail)
+		}
+	}
+
+	if *gap || *all {
+		fmt.Fprintln(w)
+		instances := 20
+		if *perGroup > 0 && *perGroup < 5 {
+			instances = 4 * *perGroup
+		}
+		results, err := experiments.GapStudy(*gapN, instances, *seed)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteGapTable(w, *gapN, results); err != nil {
+			return err
+		}
+	}
+
+	if *ablation || *all {
+		fmt.Fprintln(w)
+		sel, err := experiments.SelectionAblation(opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteAblationTable(w, "Ablation: layer selection rule", sel); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		str, err := experiments.StretchAblation(opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteAblationTable(w, "Ablation: stretch placement (paper Fig. 1 vs Fig. 2)", str); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		heur, err := experiments.HeuristicAblation(opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteAblationTable(w, "Ablation: heuristic information", heur); err != nil {
+			return err
+		}
+	}
+	return nil
+}

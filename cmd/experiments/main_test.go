@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastArgs keeps CLI tests quick: one graph per group, tiny colony.
+func fastArgs(extra ...string) []string {
+	return append([]string{"-per-group", "1", "-ants", "2", "-tours", "2"}, extra...)
+}
+
+func TestRunFig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-fig", "4"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig 4a") || !strings.Contains(s, "Fig 4b") {
+		t.Fatalf("figure tables missing:\n%s", s)
+	}
+	if !strings.Contains(s, "AntColony") || !strings.Contains(s, "LPL") {
+		t.Fatal("series missing")
+	}
+}
+
+func TestRunShapes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-shapes"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "qualitative shape checks") {
+		t.Fatal("shape checks missing")
+	}
+}
+
+func TestRunTuningAlphaBeta(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-tuning", "alphabeta"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alpha\\beta") {
+		t.Fatal("alpha/beta table missing")
+	}
+}
+
+func TestRunTuningNdWidth(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-tuning", "ndwidth"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nd_width") {
+		t.Fatal("nd_width table missing")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-ablation"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"selection rule", "stretch placement", "heuristic information"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ablation %q missing:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunExtras(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-extras"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "NetworkSimplex") || !strings.Contains(s, "CoffmanGraham") {
+		t.Fatalf("extended comparison missing:\n%s", s)
+	}
+	if strings.Contains(s, "[FAIL]") {
+		t.Fatalf("extended shape check failed:\n%s", s)
+	}
+}
+
+func TestRunGap(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-gap", "-gap-n", "7"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Optimality gap") {
+		t.Fatalf("gap table missing:\n%s", out.String())
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil, new(bytes.Buffer)); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestRunBadFigure(t *testing.T) {
+	if err := run(fastArgs("-fig", "12"), new(bytes.Buffer)); err == nil {
+		t.Fatal("figure 12 accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

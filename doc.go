@@ -1,0 +1,37 @@
+// Package antlayer is a Go library for layering directed acyclic graphs,
+// reproducing "Applying Ant Colony Optimization Metaheuristic to the DAG
+// Layering Problem" (Andreev, Healy, Nikolov — IPPS 2007).
+//
+// The DAG layering problem assigns every vertex to an integer layer so that
+// all edges point downward (layer(u) > layer(v) for each edge (u, v)); it is
+// the step of the Sugiyama hierarchical-drawing framework that fixes the
+// height and width of the final drawing. This package provides:
+//
+//   - the paper's contribution: an Ant Colony Optimization layering that
+//     minimises height plus width while accounting for the width
+//     contributed by dummy vertices (AntColony, ACOParams);
+//   - the baselines it is evaluated against: Longest-Path Layering
+//     (LongestPath), the MinWidth heuristic (MinWidth, MinWidthBest), the
+//     Promote Layering post-processing step (WithPromotion) and
+//     Coffman–Graham width-bounded layering (CoffmanGraham);
+//   - the surrounding substrate: a DAG type (NewGraph), layering metrics
+//     (Metrics), proper-layering dummy insertion, DOT and edge-list I/O,
+//     and a full Sugiyama pipeline producing SVG/ASCII drawings (Draw);
+//   - the benchmark harness regenerating every figure of the paper's
+//     evaluation (see cmd/experiments, EXPERIMENTS.md and bench_test.go).
+//
+// # Quickstart
+//
+//	g := antlayer.NewGraph(4)
+//	g.MustAddEdge(3, 2) // edges point from higher layers to lower ones
+//	g.MustAddEdge(3, 1)
+//	g.MustAddEdge(2, 0)
+//	g.MustAddEdge(1, 0)
+//
+//	l, err := antlayer.AntColony(antlayer.DefaultACOParams()).Layer(g)
+//	if err != nil { ... }
+//	fmt.Println(l.Height(), l.WidthIncludingDummies(1.0))
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory and per-experiment index.
+package antlayer

@@ -1,0 +1,56 @@
+// Scheduling: layering as precedence-constrained scheduling.
+//
+// A layering of a task DAG is a schedule: layer = time slot, and the width
+// of a layer is the number of workers busy in that slot (dummy vertices
+// model results that must be kept alive across slots — exactly the paper's
+// point that ignoring them understates resource use). This example builds a
+// synthetic build-system DAG, schedules it with Coffman–Graham (the classic
+// width-bounded scheduler), LPL (greedy ASAP), and the ant colony, and
+// compares slot count (height) and peak resource use (width).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"antlayer"
+	"antlayer/internal/graphgen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	// 60 build tasks, sparse dependencies, all reachable from a root.
+	g, err := graphgen.Generate(graphgen.Config{N: 60, EdgeFactor: 1.5, MaxDegree: 5, Connected: true}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task graph: %d tasks, %d dependencies\n\n", g.N(), g.M())
+
+	schedulers := []struct {
+		name string
+		l    antlayer.Layerer
+	}{
+		{"ASAP (LongestPath)", antlayer.LongestPath()},
+		{"ASAP+Promote", antlayer.WithPromotion(antlayer.LongestPath())},
+		{"CoffmanGraham(w=4)", antlayer.CoffmanGraham(4)},
+		{"CoffmanGraham(w=6)", antlayer.CoffmanGraham(6)},
+		{"MinWidth", antlayer.MinWidthBest(1.0)},
+		{"AntColony", antlayer.AntColony(antlayer.DefaultACOParams())},
+	}
+
+	fmt.Printf("%-20s %6s %14s %16s %9s\n",
+		"scheduler", "slots", "peak workers", "peak w/ carries", "carries")
+	for _, s := range schedulers {
+		l, err := s.l.Layer(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := l.ComputeMetrics(1.0)
+		fmt.Printf("%-20s %6d %14.0f %16.1f %9d\n",
+			s.name, m.Height, m.WidthExcl, m.WidthIncl, m.DummyCount)
+	}
+
+	fmt.Println("\nThe ant colony trades a few extra slots for a lower peak")
+	fmt.Println("including carried results — the paper's Fig 4-7 trade-off.")
+}

@@ -1,0 +1,68 @@
+// Tuning: explore the colony's α/β parameters and convergence behaviour on
+// a single graph, mirroring the paper's §VIII study at micro scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"antlayer"
+	"antlayer/internal/graphgen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(80), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lpl, err := antlayer.LongestPath().Layer(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d; LPL baseline: H=%d W=%.1f (H+W=%.1f)\n\n",
+		g.N(), g.M(), lpl.Height(), lpl.WidthIncludingDummies(1),
+		float64(lpl.Height())+lpl.WidthIncludingDummies(1))
+
+	// α/β grid as in §VIII (1..5); report H+W, lower is better.
+	fmt.Println("mean H+W by (alpha, beta) over 3 seeds:")
+	fmt.Printf("%8s", "a\\b")
+	betas := []float64{1, 2, 3, 4, 5}
+	for _, b := range betas {
+		fmt.Printf("%8.0f", b)
+	}
+	fmt.Println()
+	for _, a := range []float64{1, 2, 3, 4, 5} {
+		fmt.Printf("%8.0f", a)
+		for _, b := range betas {
+			sum := 0.0
+			for seed := int64(1); seed <= 3; seed++ {
+				p := antlayer.DefaultACOParams()
+				p.Alpha, p.Beta, p.Seed = a, b, seed
+				res, err := antlayer.AntColonyRun(g, p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += float64(res.Height) + res.Width
+			}
+			fmt.Printf("%8.1f", sum/3)
+		}
+		fmt.Println()
+	}
+
+	// Convergence history for the adopted (1, 3).
+	p := antlayer.DefaultACOParams()
+	p.Tours = 15
+	res, err := antlayer.AntColonyRun(g, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconvergence with (alpha,beta)=(1,3), best tour %d:\n", res.BestTour)
+	for _, t := range res.History {
+		fmt.Printf("  tour %2d: best H+W=%6.1f (H=%d W=%.1f), mean obj=%.4f, pheromone conc=%.3f\n",
+			t.Tour, 1/t.BestObjective, t.BestHeight, t.BestWidth, t.MeanObjective, t.PheromoneConcentration)
+	}
+	fmt.Printf("\nfinal: H=%d W=%.1f vs LPL H=%d W=%.1f\n",
+		res.Height, res.Width, lpl.Height(), lpl.WidthIncludingDummies(1))
+}

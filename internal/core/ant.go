@@ -1,0 +1,434 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"antlayer/internal/dag"
+)
+
+// ant is a single computational agent. Each ant owns a copy of the base
+// layer assignment and of the layer widths (paper §IV-E: an ant memorises
+// its partial solution and keeps its own heuristic state) and mutates them
+// during its walk. The pheromone matrix is shared read-only during a tour.
+type ant struct {
+	g      *dag.Graph
+	p      *Params
+	tau    [][]float64 // shared, read-only during the walk
+	L      int         // number of layers in the stretched search space
+	assign []int       // current layer per vertex (1-based)
+	widths []float64   // widths[l-1] = width of layer l incl. dummies
+	occ    []int       // occ[l-1] = number of real vertices on layer l
+	h      int         // number of occupied layers
+	rng    *rand.Rand
+
+	// Scratch buffers for candidate evaluation, reused across vertices.
+	preMax []float64 // preMax[i] = max occupied width among layers 1..i
+	sufMax []float64 // sufMax[i] = max occupied width among layers i..L
+
+	objective float64 // f = 1/(H+W) after the walk
+	height    int
+	width     float64
+}
+
+// newAnt prepares an ant over the shared search space. baseAssign and
+// baseWidths are copied.
+func newAnt(g *dag.Graph, p *Params, tau [][]float64, L int, baseAssign []int, baseWidths []float64, seed int64) *ant {
+	a := &ant{
+		g:      g,
+		p:      p,
+		tau:    tau,
+		L:      L,
+		assign: append([]int(nil), baseAssign...),
+		widths: append([]float64(nil), baseWidths...),
+		occ:    make([]int, L),
+		rng:    rand.New(rand.NewSource(seed)),
+		preMax: make([]float64, L+2),
+		sufMax: make([]float64, L+2),
+	}
+	for _, l := range baseAssign {
+		if a.occ[l-1] == 0 {
+			a.h++
+		}
+		a.occ[l-1]++
+	}
+	return a
+}
+
+// walk performs one solution construction (paper §IV-A): the ant visits
+// every vertex in random order and reassigns it to the best layer of its
+// span according to the random proportional rule. It finishes by computing
+// the objective value f = 1/(H+W).
+func (a *ant) walk() {
+	for _, v := range a.rng.Perm(a.g.N()) {
+		lo, hi := a.span(v)
+		best := a.chooseLayer(v, lo, hi)
+		a.move(v, best)
+	}
+	a.scoreWalk()
+}
+
+// span returns the feasible neighbourhood of v: the layers between the
+// topmost successor+1 and the bottommost predecessor-1 under the ant's
+// current assignment, clamped to [1, L]. For a valid assignment the span
+// always contains the current layer of v.
+func (a *ant) span(v int) (lo, hi int) {
+	lo, hi = 1, a.L
+	for _, w := range a.g.Succ(v) {
+		if a.assign[w]+1 > lo {
+			lo = a.assign[w] + 1
+		}
+	}
+	for _, u := range a.g.Pred(v) {
+		if a.assign[u]-1 < hi {
+			hi = a.assign[u] - 1
+		}
+	}
+	return lo, hi
+}
+
+// chooseLayer applies the random proportional rule over the span [lo, hi]:
+// the probability of layer l is proportional to τ[v][l]^α · η[v][l]^β.
+// With SelectArgMax it returns the most probable layer (Algorithm 4,
+// line 6); with SelectRoulette it samples.
+//
+// The heuristic information η is dynamic (§IV-D): it is recomputed from the
+// ant's current layer widths for every decision. Two concretizations are
+// provided, see HeuristicMode.
+func (a *ant) chooseLayer(v, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	var deltas, affected []float64
+	if a.p.Heuristic != HeuristicLayerWidth || a.p.WidthBound > 0 {
+		deltas, affected = a.evalRange(v, lo, hi)
+	}
+	etas := make([]float64, hi-lo+1)
+	if a.p.Heuristic == HeuristicLayerWidth {
+		for l := lo; l <= hi; l++ {
+			etas[l-lo] = 1 / (a.widths[l-1] + a.p.DummyWidth)
+		}
+	} else {
+		for i, d := range deltas {
+			etas[i] = math.Exp(-d)
+		}
+	}
+	if a.p.WidthBound > 0 {
+		// §IV-C resource capacities: candidates whose move would push any
+		// widened occupied layer beyond the bound get zero desirability.
+		// The current layer stays admissible so feasibility is never lost.
+		cur := a.assign[v]
+		for l := lo; l <= hi; l++ {
+			if l != cur && affected[l-lo] > a.p.WidthBound {
+				etas[l-lo] = 0
+			}
+		}
+	}
+	switch a.p.Selection {
+	case SelectRoulette:
+		return a.rouletteLayer(v, lo, hi, etas)
+	case SelectArgMax:
+		return a.argmaxLayer(v, lo, hi, etas)
+	default: // SelectPseudoRandom
+		if a.rng.Float64() < a.p.Q0 {
+			return a.argmaxLayer(v, lo, hi, etas)
+		}
+		return a.rouletteLayer(v, lo, hi, etas)
+	}
+}
+
+// etaRange computes η[v][l] for every l in [lo, hi], indexed l-lo.
+//
+// HeuristicLayerWidth is the literal formula of §IV-D: η = 1/W(l) with the
+// layer's current width (regularised by one dummy width so empty layers
+// have finite desirability).
+//
+// HeuristicObjective (the default) makes η the exact desirability of the
+// move under the paper's objective: η = exp(-Δ(v,l)) where Δ(v,l) is the
+// change in H+W the reassignment causes, measured after the final
+// empty-layer removal (§VI note): H counts layers holding real vertices
+// and W is the maximum width over those layers including the dummy
+// vertices crossing them (Algorithm 5 bookkeeping). A small tie-break term
+// charges 0.05·wd per net dummy vertex created so plateau moves do not
+// silently inflate the dummy count. Staying put always has Δ = 0, so a
+// pheromone-neutral ant never worsens its solution; pheromone
+// accumulated over tours can still push it across small uphill steps.
+// §IV-E (items 3-4) requires exactly this information to be maintained:
+// the widths of all affected layers and the dummy vertices an assignment
+// would cause.
+//
+// chooseLayer inlines this computation to share evalRange with the width
+// bound; etaRange remains the single-purpose form used by tests.
+func (a *ant) etaRange(v, lo, hi int) []float64 {
+	etas := make([]float64, hi-lo+1)
+	if a.p.Heuristic == HeuristicLayerWidth {
+		for l := lo; l <= hi; l++ {
+			etas[l-lo] = 1 / (a.widths[l-1] + a.p.DummyWidth)
+		}
+		return etas
+	}
+	deltas, _ := a.evalRange(v, lo, hi)
+	for i, d := range deltas {
+		etas[i] = math.Exp(-d)
+	}
+	return etas
+}
+
+// evalRange computes, for every candidate layer l in [lo, hi]:
+//
+//   - deltas[l-lo]: Δ(v,l) = (H'+W') - (H+W), where primes denote the
+//     state after moving v to l. All quantities are normalization-aware:
+//     only occupied layers count.
+//   - affected[l-lo]: the maximum post-move width over the layers the move
+//     *widens* (the target, plus source/interior layers whose width grows),
+//     used by the §IV-C width bound. Layers the move narrows are excluded
+//     so that leaving an over-full layer remains admissible.
+//
+// The evaluation is O(hi-lo+L): prefix/suffix maxima over occupied layer
+// widths give the max outside the affected range in O(1), and the maxima
+// over the affected interior are extended incrementally as the candidate
+// moves away from the current layer. The interior modifier is constant per
+// direction (±(outdeg-indeg)·wd, Algorithm 5), which is what makes the
+// incremental extension valid.
+func (a *ant) evalRange(v, lo, hi int) (deltas, affected []float64) {
+	cur := a.assign[v]
+	wd := a.p.DummyWidth
+	w := a.g.Width(v)
+	out := float64(a.g.OutDegree(v))
+	in := float64(a.g.InDegree(v))
+
+	// Prefix/suffix maxima of occupied layer widths (1-based layers;
+	// preMax[0] = sufMax[L+1] = -inf sentinel).
+	negInf := math.Inf(-1)
+	a.preMax[0] = negInf
+	for l := 1; l <= a.L; l++ {
+		m := a.preMax[l-1]
+		if a.occ[l-1] > 0 && a.widths[l-1] > m {
+			m = a.widths[l-1]
+		}
+		a.preMax[l] = m
+	}
+	a.sufMax[a.L+1] = negInf
+	for l := a.L; l >= 1; l-- {
+		m := a.sufMax[l+1]
+		if a.occ[l-1] > 0 && a.widths[l-1] > m {
+			m = a.widths[l-1]
+		}
+		a.sufMax[l] = m
+	}
+
+	hw := float64(a.h) + a.curMaxWidth()
+	deltas = make([]float64, hi-lo+1)
+	affected = make([]float64, hi-lo+1)
+
+	// eval computes Δ and the affected-layer maximum for candidate l
+	// given the running maximum of raw occupied widths strictly between
+	// cur and l (negInf when none).
+	eval := func(l int, interior float64) (float64, float64) {
+		if l == cur {
+			return 0, a.widths[cur-1]
+		}
+		var curAfter, lAfter, interiorMod float64
+		if l > cur {
+			// Algorithm 5, upward move: [cur, l-1] gain out·wd,
+			// [cur+1, l] lose in·wd.
+			curAfter = a.widths[cur-1] - w + out*wd
+			lAfter = a.widths[l-1] + w - in*wd
+			interiorMod = (out - in) * wd
+		} else {
+			curAfter = a.widths[cur-1] - w + in*wd
+			lAfter = a.widths[l-1] + w - out*wd
+			interiorMod = (in - out) * wd
+		}
+		// Maximum over the occupied layers the move makes wider (for the
+		// width bound): always the target; the source and interior layers
+		// only when the dummy adjustments actually widen them.
+		widened := lAfter
+		if a.occ[cur-1] > 1 && curAfter > a.widths[cur-1] {
+			widened = math.Max(widened, curAfter)
+		}
+		if interiorMod > 0 && !math.IsInf(interior, -1) {
+			widened = math.Max(widened, interior+interiorMod)
+		}
+		// New maximum over all occupied layers (for the objective delta).
+		touched := lAfter
+		if a.occ[cur-1] > 1 {
+			touched = math.Max(touched, curAfter)
+		}
+		if !math.IsInf(interior, -1) {
+			touched = math.Max(touched, interior+interiorMod)
+		}
+		lo2, hi2 := cur, l
+		if lo2 > hi2 {
+			lo2, hi2 = hi2, lo2
+		}
+		wMax := math.Max(math.Max(a.preMax[lo2-1], a.sufMax[hi2+1]), touched)
+		hNew := a.h
+		if a.occ[cur-1] == 1 {
+			hNew--
+		}
+		if a.occ[l-1] == 0 {
+			hNew++
+		}
+		// Net dummy vertices the move creates (negative = removes); a
+		// small charge keeps plateau moves from inflating the DVC.
+		created := float64(l-cur) * (out - in)
+		if l < cur {
+			created = float64(cur-l) * (in - out)
+		}
+		return (float64(hNew) + wMax) - hw + 0.05*wd*created, widened
+	}
+
+	if cur >= lo && cur <= hi {
+		deltas[cur-lo], affected[cur-lo] = eval(cur, negInf)
+	}
+	// Upward candidates: extend the interior maximum one layer at a time.
+	interior := negInf
+	for l := cur + 1; l <= hi; l++ {
+		deltas[l-lo], affected[l-lo] = eval(l, interior)
+		// Layer l becomes interior for the next candidate.
+		if a.occ[l-1] > 0 && a.widths[l-1] > interior {
+			interior = a.widths[l-1]
+		}
+	}
+	// Downward candidates.
+	interior = negInf
+	for l := cur - 1; l >= lo; l-- {
+		deltas[l-lo], affected[l-lo] = eval(l, interior)
+		if a.occ[l-1] > 0 && a.widths[l-1] > interior {
+			interior = a.widths[l-1]
+		}
+	}
+	return deltas, affected
+}
+
+// curMaxWidth returns the current maximum width over occupied layers.
+func (a *ant) curMaxWidth() float64 {
+	m := 0.0
+	for i := 0; i < a.L; i++ {
+		if a.occ[i] > 0 && a.widths[i] > m {
+			m = a.widths[i]
+		}
+	}
+	return m
+}
+
+// argmaxLayer returns the layer maximising τ^α·η^β, resolving ties towards
+// the shortest move (and in particular towards staying put) by scanning in
+// order of increasing distance from the current layer.
+func (a *ant) argmaxLayer(v, lo, hi int, etas []float64) int {
+	cur := a.assign[v]
+	start := cur
+	if start < lo {
+		start = lo
+	}
+	if start > hi {
+		start = hi
+	}
+	best, bestScore := start, a.scoreWith(v, start, etas[start-lo])
+	for d := 1; start-d >= lo || start+d <= hi; d++ {
+		if l := start - d; l >= lo {
+			if s := a.scoreWith(v, l, etas[l-lo]); s > bestScore {
+				best, bestScore = l, s
+			}
+		}
+		if l := start + d; l <= hi {
+			if s := a.scoreWith(v, l, etas[l-lo]); s > bestScore {
+				best, bestScore = l, s
+			}
+		}
+	}
+	return best
+}
+
+func (a *ant) rouletteLayer(v, lo, hi int, etas []float64) int {
+	total := 0.0
+	scores := make([]float64, hi-lo+1)
+	for l := lo; l <= hi; l++ {
+		s := a.scoreWith(v, l, etas[l-lo])
+		scores[l-lo] = s
+		total += s
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return a.argmaxLayer(v, lo, hi, etas)
+	}
+	r := a.rng.Float64() * total
+	acc := 0.0
+	for l := lo; l <= hi; l++ {
+		acc += scores[l-lo]
+		if r < acc {
+			return l
+		}
+	}
+	return hi
+}
+
+// scoreWith is the unnormalised random-proportional-rule numerator
+// τ[v][l]^α · η^β. A zero η marks an inadmissible candidate (width bound)
+// and yields a zero score even when β = 0.
+func (a *ant) scoreWith(v, l int, eta float64) float64 {
+	if eta == 0 {
+		return 0
+	}
+	return math.Pow(a.tau[v][l-1], a.p.Alpha) * math.Pow(eta, a.p.Beta)
+}
+
+// move reassigns v from its current layer to newLayer, updating the layer
+// widths incrementally per Algorithm 5 of the paper.
+//
+// Moving v up (newLayer > cur) makes v's outgoing edges additionally cross
+// the layers [cur, newLayer-1] (one dummy each) and removes the dummy of
+// each incoming edge from the layers [cur+1, newLayer]; moving down is
+// symmetric.
+func (a *ant) move(v, newLayer int) {
+	cur := a.assign[v]
+	if newLayer == cur {
+		return
+	}
+	w := a.g.Width(v)
+	wd := a.p.DummyWidth
+	out := float64(a.g.OutDegree(v))
+	in := float64(a.g.InDegree(v))
+
+	a.widths[cur-1] -= w
+	a.widths[newLayer-1] += w
+	a.occ[cur-1]--
+	if a.occ[cur-1] == 0 {
+		a.h--
+	}
+	if a.occ[newLayer-1] == 0 {
+		a.h++
+	}
+	a.occ[newLayer-1]++
+
+	if newLayer > cur {
+		for l := cur; l <= newLayer-1; l++ {
+			a.widths[l-1] += out * wd
+		}
+		for l := cur + 1; l <= newLayer; l++ {
+			a.widths[l-1] -= in * wd
+		}
+	} else {
+		for l := newLayer + 1; l <= cur; l++ {
+			a.widths[l-1] += in * wd
+		}
+		for l := newLayer; l <= cur-1; l++ {
+			a.widths[l-1] -= out * wd
+		}
+	}
+	a.assign[v] = newLayer
+}
+
+// scoreWalk computes H, W and the objective f = 1/(H+W) (Algorithm 4,
+// line 13) as they will be *after* the final empty-layer removal (§VI
+// note): only layers holding real vertices count, because layers crossed
+// exclusively by dummies disappear when the layering is normalized, while
+// an edge crossing an occupied layer keeps crossing it (normalization is
+// an order-preserving renumbering). Evaluating the stretched solution
+// directly would make H saturate at the stretched layer count and remove
+// all pressure towards compact layerings.
+func (a *ant) scoreWalk() {
+	a.height = a.h
+	a.width = a.curMaxWidth()
+	a.objective = 1 / (float64(a.height) + a.width)
+}

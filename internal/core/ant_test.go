@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+)
+
+// testAnt builds an ant over the stretched search space of g.
+func testAnt(t *testing.T, g *dag.Graph, p Params, seed int64) *ant {
+	t.Helper()
+	maxLayers := p.MaxLayers
+	if maxLayers == 0 {
+		maxLayers = g.N()
+	}
+	s, err := Stretch(g, maxLayers, p.Stretch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := s.NumLayers()
+	if L == 0 {
+		L = 1
+	}
+	tau := make([][]float64, g.N())
+	for v := range tau {
+		tau[v] = make([]float64, L)
+		for i := range tau[v] {
+			tau[v][i] = p.Tau0
+		}
+	}
+	assign := s.Assignment()
+	return newAnt(g, &p, tau, L, assign, layerWidths(g, assign, L, p.DummyWidth), seed)
+}
+
+// exactHW computes the normalization-aware H+W of an ant's state from
+// scratch.
+func exactHW(a *ant) float64 {
+	ref := layerWidths(a.g, a.assign, a.L, a.p.DummyWidth)
+	occ := make([]int, a.L)
+	for _, l := range a.assign {
+		occ[l-1]++
+	}
+	h, w := 0, 0.0
+	for i := 0; i < a.L; i++ {
+		if occ[i] == 0 {
+			continue
+		}
+		h++
+		if ref[i] > w {
+			w = ref[i]
+		}
+	}
+	return float64(h) + w
+}
+
+func TestMoveMatchesRecompute(t *testing.T) {
+	// Algorithm 5's incremental width updates must agree with a from-
+	// scratch recomputation after any sequence of span-respecting moves,
+	// including with non-unit vertex widths.
+	rng := rand.New(rand.NewSource(80))
+	for i := 0; i < 20; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if rng.Intn(2) == 0 {
+				g.SetWidth(v, 0.5+2*rng.Float64())
+			}
+		}
+		p := DefaultParams()
+		p.DummyWidth = 0.25 + rng.Float64()
+		a := testAnt(t, g, p, 1)
+		for step := 0; step < 200; step++ {
+			v := rng.Intn(g.N())
+			lo, hi := a.span(v)
+			a.move(v, lo+rng.Intn(hi-lo+1))
+		}
+		ref := layerWidths(g, a.assign, a.L, p.DummyWidth)
+		for l := 0; l < a.L; l++ {
+			if math.Abs(a.widths[l]-ref[l]) > 1e-6 {
+				t.Fatalf("layer %d: incremental %g, recomputed %g", l+1, a.widths[l], ref[l])
+			}
+		}
+		// Occupancy and h agree too.
+		occ := make([]int, a.L)
+		h := 0
+		for _, l := range a.assign {
+			occ[l-1]++
+		}
+		for i := range occ {
+			if occ[i] != a.occ[i] {
+				t.Fatalf("occ[%d] = %d, want %d", i, a.occ[i], occ[i])
+			}
+			if occ[i] > 0 {
+				h++
+			}
+		}
+		if h != a.h {
+			t.Fatalf("h = %d, want %d", a.h, h)
+		}
+	}
+}
+
+func TestMoveToSameLayerNoOp(t *testing.T) {
+	g := graphgen.Path(4)
+	a := testAnt(t, g, DefaultParams(), 1)
+	before := append([]float64(nil), a.widths...)
+	a.move(2, a.assign[2])
+	for i := range before {
+		if a.widths[i] != before[i] {
+			t.Fatal("no-op move changed widths")
+		}
+	}
+}
+
+func TestDeltaRangeExact(t *testing.T) {
+	// The O(1)-per-candidate delta must equal the brute-force H+W change
+	// (up to the deliberate dummy tie-break term).
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 15; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(30)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if rng.Intn(3) == 0 {
+				g.SetWidth(v, 0.5+2*rng.Float64())
+			}
+		}
+		p := DefaultParams()
+		if i%2 == 1 {
+			p.DummyWidth = 0.25 + rng.Float64()
+		}
+		a := testAnt(t, g, p, 1)
+		// Shuffle a bit first so the state is not the pristine seed.
+		for step := 0; step < 50; step++ {
+			v := rng.Intn(g.N())
+			lo, hi := a.span(v)
+			a.move(v, lo+rng.Intn(hi-lo+1))
+		}
+		for trial := 0; trial < 30; trial++ {
+			v := rng.Intn(g.N())
+			lo, hi := a.span(v)
+			deltas, _ := a.evalRange(v, lo, hi)
+			l := lo + rng.Intn(hi-lo+1)
+
+			before := exactHW(a)
+			saveAssign := append([]int(nil), a.assign...)
+			saveWidths := append([]float64(nil), a.widths...)
+			saveOcc := append([]int(nil), a.occ...)
+			saveH := a.h
+
+			a.move(v, l)
+			after := exactHW(a)
+
+			// Strip the dummy tie-break term to compare pure H+W deltas.
+			out := float64(a.g.OutDegree(v))
+			in := float64(a.g.InDegree(v))
+			created := float64(l-saveAssign[v]) * (out - in)
+			if l < saveAssign[v] {
+				created = float64(saveAssign[v]-l) * (in - out)
+			}
+			pure := deltas[l-lo] - 0.05*p.DummyWidth*created
+			if math.Abs(pure-(after-before)) > 1e-6 {
+				t.Fatalf("delta(%d->%d) = %g, exact = %g", saveAssign[v], l, pure, after-before)
+			}
+
+			a.assign = saveAssign
+			a.widths = saveWidths
+			a.occ = saveOcc
+			a.h = saveH
+		}
+	}
+}
+
+func TestWalkKeepsValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 15; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sel := range []SelectionMode{SelectPseudoRandom, SelectArgMax, SelectRoulette} {
+			for _, heur := range []HeuristicMode{HeuristicObjective, HeuristicLayerWidth} {
+				p := DefaultParams()
+				p.Selection = sel
+				p.Heuristic = heur
+				a := testAnt(t, g, p, int64(i))
+				a.walk()
+				for _, e := range g.Edges() {
+					if a.assign[e.U] <= a.assign[e.V] {
+						t.Fatalf("%v/%v: edge (%d,%d) violated: %d <= %d",
+							sel, heur, e.U, e.V, a.assign[e.U], a.assign[e.V])
+					}
+				}
+				if a.objective <= 0 {
+					t.Fatalf("objective = %g", a.objective)
+				}
+			}
+		}
+	}
+}
+
+// potential is the quantity an argmax ant descends on: H + W plus the
+// dummy tie-break charge of the objective heuristic.
+func potential(a *ant) float64 {
+	dvc := 0
+	for _, e := range a.g.Edges() {
+		dvc += a.assign[e.U] - a.assign[e.V] - 1
+	}
+	return exactHW(a) + 0.05*a.p.DummyWidth*float64(dvc)
+}
+
+func TestWalkNeverWorsensWithArgMax(t *testing.T) {
+	// With argmax selection, uniform pheromone and the objective
+	// heuristic, staying put (Δ=0) is always available and every chosen
+	// move has a strictly negative scored delta — so the potential
+	// H + W + 0.05·wd·DVC can only decrease over a walk.
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 15; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(10+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams()
+		p.Selection = SelectArgMax
+		a := testAnt(t, g, p, int64(i))
+		before := potential(a)
+		a.walk()
+		after := potential(a)
+		if after > before+1e-6 {
+			t.Fatalf("argmax walk increased potential: %g -> %g", before, after)
+		}
+	}
+}
+
+func TestSpanRespectsNeighbours(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testAnt(t, g, DefaultParams(), 1)
+	for v := 0; v < g.N(); v++ {
+		lo, hi := a.span(v)
+		if lo > a.assign[v] || hi < a.assign[v] {
+			t.Fatalf("span [%d,%d] excludes current %d", lo, hi, a.assign[v])
+		}
+		if lo < 1 || hi > a.L {
+			t.Fatalf("span [%d,%d] outside [1,%d]", lo, hi, a.L)
+		}
+	}
+}
+
+func TestEtaLayerWidthOrdering(t *testing.T) {
+	// With the literal heuristic, wider layers must be strictly less
+	// desirable.
+	g := dag.New(3) // three isolated vertices
+	p := DefaultParams()
+	p.Heuristic = HeuristicLayerWidth
+	p.MaxLayers = 3
+	a := testAnt(t, g, p, 1)
+	// All three vertices start on layer 1 (LPL of edgeless graph).
+	etas := a.etaRange(0, 1, 3)
+	if !(etas[1] > etas[0] && etas[2] > etas[0]) {
+		t.Fatalf("empty layers not preferred: %v", etas)
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+)
+
+// TourStats records what one tour achieved, for convergence analysis.
+type TourStats struct {
+	Tour          int     // 1-based tour number
+	BestObjective float64 // objective of the tour's best ant
+	MeanObjective float64 // mean objective over the colony
+	BestHeight    int
+	BestWidth     float64
+	// PheromoneConcentration measures how focused the pheromone matrix is
+	// after the tour's update: the mean over vertices of the largest
+	// row share max_l τ[v][l] / Σ_l τ[v][l]. It starts at 1/L (uniform)
+	// and approaches 1 as the colony converges on one layering — the
+	// stagnation §IV-D warns about is visible as a fast rise.
+	PheromoneConcentration float64
+}
+
+// Result is the outcome of a colony run.
+type Result struct {
+	// Layering is the best layering found, normalized (empty layers
+	// removed, §VI note).
+	Layering *layering.Layering
+	// Objective is f = 1/(H+W) of the best walk, measured in the stretched
+	// search space before normalization.
+	Objective float64
+	// Height and Width are the layering's height and width including
+	// dummy vertices at the run's DummyWidth, after normalization.
+	Height int
+	Width  float64
+	// BestTour is the 1-based tour that produced the best walk, or 0 when
+	// no walk improved on the stretched LPL seed.
+	BestTour int
+	// History holds per-tour statistics.
+	History []TourStats
+}
+
+// Colony conducts the search process (paper §VI: the AntColony class). A
+// Colony is single-use: construct with NewColony, call Run once.
+type Colony struct {
+	g   *dag.Graph
+	p   Params
+	L   int         // stretched layer count
+	tau [][]float64 // pheromone matrix, tau[v][l-1]
+
+	baseAssign []int     // layering inherited by the next tour
+	baseWidths []float64 // its layer widths
+}
+
+// NewColony validates the parameters and runs the initialisation phase
+// (Algorithm 3): LPL, stretch, pheromone matrix. The input must be acyclic.
+func NewColony(g *dag.Graph, p Params) (*Colony, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxLayers := p.MaxLayers
+	if maxLayers == 0 {
+		maxLayers = g.N()
+	}
+	stretched, err := Stretch(g, maxLayers, p.Stretch)
+	if err != nil {
+		return nil, err
+	}
+	L := stretched.NumLayers()
+	if L == 0 { // empty graph
+		L = 1
+	}
+	c := &Colony{
+		g:          g,
+		p:          p,
+		L:          L,
+		baseAssign: stretched.Assignment(),
+		baseWidths: layerWidths(g, stretched.Assignment(), L, p.DummyWidth),
+	}
+	c.tau = make([][]float64, g.N())
+	for v := range c.tau {
+		row := make([]float64, L)
+		for i := range row {
+			row[i] = p.Tau0
+		}
+		c.tau[v] = row
+	}
+	return c, nil
+}
+
+// layerWidths computes from scratch the width of every layer 1..L including
+// dummy contributions: the reference implementation Algorithm 5's
+// incremental updates are tested against.
+func layerWidths(g *dag.Graph, assign []int, L int, dummyWidth float64) []float64 {
+	w := make([]float64, L)
+	for v := 0; v < g.N(); v++ {
+		w[assign[v]-1] += g.Width(v)
+	}
+	for _, e := range g.Edges() {
+		for l := assign[e.V] + 1; l <= assign[e.U]-1; l++ {
+			w[l-1] += dummyWidth
+		}
+	}
+	return w
+}
+
+// Run executes the layering phase (Algorithm 4) and returns the best
+// layering found across all tours.
+func (c *Colony) Run() (*Result, error) {
+	n := c.g.N()
+	if n == 0 {
+		return &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}, nil
+	}
+	master := c.p.rng()
+
+	// The stretched LPL seed is the incumbent solution: a tour whose ants
+	// all explore uphill cannot make the final result worse than the
+	// layering the colony started from. BestTour stays 0 when no walk
+	// beats the seed.
+	res := &Result{}
+	seed := newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, 0)
+	seed.scoreWalk()
+	bestObjective := seed.objective
+	bestAssign := append([]int(nil), c.baseAssign...)
+	stagnant := 0
+
+	for t := 1; t <= c.p.Tours; t++ {
+		ants := c.runTour(master)
+
+		// The tour's best ant: highest objective, ties to the lowest index
+		// so the outcome does not depend on scheduling.
+		bestIdx := 0
+		meanObj := 0.0
+		for i, a := range ants {
+			meanObj += a.objective
+			if a.objective > ants[bestIdx].objective {
+				bestIdx = i
+			}
+		}
+		best := ants[bestIdx]
+
+		// Evaporation, then the best ant deposits on its assignments
+		// (Algorithm 4, lines 16-17).
+		c.evaporate()
+		c.deposit(best)
+		c.clampPheromone()
+
+		res.History = append(res.History, TourStats{
+			Tour:                   t,
+			BestObjective:          best.objective,
+			MeanObjective:          meanObj / float64(len(ants)),
+			BestHeight:             best.height,
+			BestWidth:              best.width,
+			PheromoneConcentration: c.pheromoneConcentration(),
+		})
+
+		// The best ant's layering (and therefore its heuristic state)
+		// seeds the next tour (line 18).
+		c.baseAssign = append(c.baseAssign[:0], best.assign...)
+		c.baseWidths = append(c.baseWidths[:0], best.widths...)
+
+		if best.objective > bestObjective {
+			bestObjective = best.objective
+			bestAssign = append([]int(nil), best.assign...)
+			res.BestTour = t
+			stagnant = 0
+		} else {
+			stagnant++
+			if c.p.StopAfterStagnantTours > 0 && stagnant >= c.p.StopAfterStagnantTours {
+				break
+			}
+		}
+	}
+
+	l := layering.FromAssignment(c.g, bestAssign)
+	l.SetNumLayers(c.L)
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: colony produced invalid layering: %w", err)
+	}
+	l.Normalize()
+	res.Layering = l
+	res.Objective = bestObjective
+	res.Height = l.Height()
+	res.Width = l.WidthIncludingDummies(c.p.DummyWidth)
+	return res, nil
+}
+
+// runTour evaluates the whole colony against the current base layering.
+// Ant seeds are drawn from the master source up front so the result is
+// independent of goroutine scheduling.
+func (c *Colony) runTour(master interface{ Int63() int64 }) []*ant {
+	ants := make([]*ant, c.p.Ants)
+	seeds := make([]int64, c.p.Ants)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	workers := c.p.Workers
+	if workers <= 1 || c.p.Ants == 1 {
+		for i := range ants {
+			ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, seeds[i])
+			ants[i].walk()
+		}
+		return ants
+	}
+	if workers > c.p.Ants {
+		workers = c.p.Ants
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, seeds[i])
+				ants[i].walk()
+			}
+		}()
+	}
+	for i := range ants {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return ants
+}
+
+// evaporate applies τ ← (1-ρ)·τ to every element.
+func (c *Colony) evaporate() {
+	f := 1 - c.p.Rho
+	for _, row := range c.tau {
+		for i := range row {
+			row[i] *= f
+		}
+	}
+}
+
+// deposit adds Q·f of pheromone to every (vertex, layer) coupling of the
+// best ant's solution.
+func (c *Colony) deposit(best *ant) {
+	amount := c.p.Q * best.objective
+	for v, l := range best.assign {
+		c.tau[v][l-1] += amount
+	}
+}
+
+// pheromoneConcentration is the mean over vertices of the dominant layer's
+// pheromone share; see TourStats.PheromoneConcentration.
+func (c *Colony) pheromoneConcentration() float64 {
+	if len(c.tau) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, row := range c.tau {
+		sum, max := 0.0, 0.0
+		for _, tau := range row {
+			sum += tau
+			if tau > max {
+				max = tau
+			}
+		}
+		if sum > 0 {
+			total += max / sum
+		}
+	}
+	return total / float64(len(c.tau))
+}
+
+// clampPheromone applies the MAX-MIN Ant System bounds when configured.
+func (c *Colony) clampPheromone() {
+	if c.p.TauMin == 0 && c.p.TauMax == 0 {
+		return
+	}
+	for _, row := range c.tau {
+		for i, tau := range row {
+			if c.p.TauMin > 0 && tau < c.p.TauMin {
+				row[i] = c.p.TauMin
+			}
+			if c.p.TauMax > 0 && tau > c.p.TauMax {
+				row[i] = c.p.TauMax
+			}
+		}
+	}
+}
+
+// Layer is the package-level convenience: build a colony with the given
+// parameters and run it, returning only the layering.
+func Layer(g *dag.Graph, p Params) (*layering.Layering, error) {
+	res, err := Run(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Layering, nil
+}
+
+// Run builds a colony and runs it.
+func Run(g *dag.Graph, p Params) (*Result, error) {
+	c, err := NewColony(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/graphgen"
+)
+
+func TestTauBoundsValidation(t *testing.T) {
+	p := DefaultParams()
+	p.TauMin, p.TauMax = 2, 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("TauMin > TauMax accepted")
+	}
+	p = DefaultParams()
+	p.TauMin = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative TauMin accepted")
+	}
+	p = DefaultParams()
+	p.StopAfterStagnantTours = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative StopAfterStagnantTours accepted")
+	}
+}
+
+func TestTauBoundsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.TauMin, p.TauMax = 0.2, 2.0
+	c, err := NewColony(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v := range c.tau {
+		for _, tau := range c.tau[v] {
+			if tau < p.TauMin-1e-12 || tau > p.TauMax+1e-12 {
+				t.Fatalf("tau = %g outside [%g, %g]", tau, p.TauMin, p.TauMax)
+			}
+		}
+	}
+}
+
+func TestTauBoundsKeepResultValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.TauMin, p.TauMax = 0.1, 5
+	res, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Layering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	// A path graph admits exactly one layering, so every tour after the
+	// first is stagnant and the run must stop after the configured
+	// patience.
+	g := graphgen.Path(6)
+	p := DefaultParams()
+	p.Tours = 50
+	p.StopAfterStagnantTours = 3
+	res, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) >= 50 {
+		t.Fatalf("ran %d tours despite stagnation", len(res.History))
+	}
+	if len(res.History) < 3 {
+		t.Fatalf("stopped after only %d tours", len(res.History))
+	}
+	if res.Height != 6 {
+		t.Fatalf("height = %d", res.Height)
+	}
+}
+
+func TestEarlyStoppingDisabledRunsAllTours(t *testing.T) {
+	g := graphgen.Path(4)
+	p := DefaultParams()
+	p.Tours = 7
+	res, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 7 {
+		t.Fatalf("history = %d tours, want 7", len(res.History))
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		frag   string
+	}{
+		{"ants", func(p *Params) { p.Ants = 0 }, "Ants"},
+		{"tours", func(p *Params) { p.Tours = 0 }, "Tours"},
+		{"alpha", func(p *Params) { p.Alpha = -1 }, "Alpha"},
+		{"beta", func(p *Params) { p.Beta = -0.5 }, "Beta"},
+		{"rho-zero", func(p *Params) { p.Rho = 0 }, "Rho"},
+		{"rho-big", func(p *Params) { p.Rho = 1.5 }, "Rho"},
+		{"tau0", func(p *Params) { p.Tau0 = 0 }, "Tau0"},
+		{"q", func(p *Params) { p.Q = 0 }, "Q"},
+		{"dummy", func(p *Params) { p.DummyWidth = 0 }, "DummyWidth"},
+		{"selection", func(p *Params) { p.Selection = SelectionMode(9) }, "selection"},
+		{"q0", func(p *Params) { p.Q0 = 1.5 }, "Q0"},
+		{"stretch", func(p *Params) { p.Stretch = StretchMode(9) }, "stretch"},
+		{"heuristic", func(p *Params) { p.Heuristic = HeuristicMode(9) }, "heuristic"},
+		{"maxlayers", func(p *Params) { p.MaxLayers = -1 }, "MaxLayers"},
+		{"workers", func(p *Params) { p.Workers = -2 }, "Workers"},
+	}
+	for _, c := range cases {
+		p := DefaultParams()
+		c.mutate(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	cases := map[string]string{
+		SelectPseudoRandom.String():  "pseudo-random",
+		SelectArgMax.String():        "argmax",
+		SelectRoulette.String():      "roulette",
+		StretchBetween.String():      "between",
+		StretchEnds.String():         "ends",
+		HeuristicObjective.String():  "objective",
+		HeuristicLayerWidth.String(): "layer-width",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("mode string = %q, want %q", got, want)
+		}
+	}
+	if s := SelectionMode(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown selection mode string = %q", s)
+	}
+	if s := StretchMode(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown stretch mode string = %q", s)
+	}
+	if s := HeuristicMode(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown heuristic mode string = %q", s)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+)
+
+// TestColonyLargeGraph exercises the colony well beyond the paper's corpus
+// sizes (n = 500) to cover the memory layout and the parallel execution
+// path under load. Skipped in -short mode.
+func TestColonyLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-graph stress test in -short mode")
+	}
+	rng := rand.New(rand.NewSource(170))
+	g, err := graphgen.Generate(graphgen.Config{N: 500, EdgeFactor: 1.4, MaxDegree: 8, Connected: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Ants = 6
+	p.Tours = 4
+	p.Workers = 4
+	res, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Layering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lpl, _ := longestpath.Layer(g)
+	lplHW := float64(lpl.Height()) + lpl.WidthIncludingDummies(1)
+	acoHW := float64(res.Height) + res.Layering.WidthIncludingDummies(1)
+	if acoHW > lplHW+1e-9 {
+		t.Fatalf("large graph: ACO H+W %.1f worse than LPL %.1f", acoHW, lplHW)
+	}
+	t.Logf("n=500: LPL H+W=%.1f, ACO H+W=%.1f (best tour %d)", lplHW, acoHW, res.BestTour)
+}
+
+// TestColonyManySmallGraphs pushes many short runs through the colony to
+// shake out state leakage between runs (each Colony is single-use).
+func TestColonyManySmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	p := DefaultParams()
+	p.Ants = 3
+	p.Tours = 3
+	for i := 0; i < 60; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(4+rng.Intn(12)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Layering.Validate(); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}

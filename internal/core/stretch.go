@@ -1,0 +1,79 @@
+package core
+
+import (
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+	"antlayer/internal/longestpath"
+)
+
+// Stretch builds the ant search space from a graph: the LPL layering with
+// extra empty layers inserted until the layer count reaches maxLayers
+// (paper §V-A). It returns the stretched layering (still valid: relative
+// order of the LPL layers is preserved).
+//
+// With StretchBetween the nnl = maxLayers - nLPL new layers are divided as
+// evenly as possible over the nLPL-1 interlayer gaps (paper Fig. 2), which
+// uniformly enlarges every vertex's layer span. With StretchEnds half the
+// layers go below layer 1 and half above layer nLPL (paper Fig. 1, kept for
+// ablation). When the LPL layering has a single layer there are no gaps and
+// both modes place all new layers above it.
+func Stretch(g *dag.Graph, maxLayers int, mode StretchMode) (*layering.Layering, error) {
+	lpl, err := longestpath.Layer(g)
+	if err != nil {
+		return nil, err
+	}
+	return StretchLayering(lpl, maxLayers, mode), nil
+}
+
+// StretchLayering stretches an existing layering (normally the LPL one) to
+// maxLayers layers without modifying the input. If the layering already has
+// at least maxLayers layers it is returned unchanged (as a clone).
+func StretchLayering(l *layering.Layering, maxLayers int, mode StretchMode) *layering.Layering {
+	nLPL := l.NumLayers()
+	if maxLayers <= nLPL || l.Graph().N() == 0 {
+		return l.Clone()
+	}
+	nnl := maxLayers - nLPL
+	gaps := nLPL - 1
+
+	// offset[k] is the new 1-based position of old layer k.
+	offset := make([]int, nLPL+1)
+	switch {
+	case mode == StretchBetween && gaps > 0:
+		// Distribute nnl layers over the gaps below layers 2..nLPL: gap i
+		// (between old layers i and i+1) receives base extra layers, the
+		// first rem gaps one more.
+		base := nnl / gaps
+		rem := nnl % gaps
+		shift := 0
+		offset[1] = 1
+		for k := 2; k <= nLPL; k++ {
+			extra := base
+			if k-1 <= rem {
+				extra++
+			}
+			shift += extra
+			offset[k] = k + shift
+		}
+	default:
+		// StretchEnds, or a single-layer LPL with no gaps: put half the
+		// layers below layer 1 (shifting everything up) and the rest above.
+		below := nnl / 2
+		if gaps == 0 {
+			below = 0 // nothing can move below a single layer usefully
+		}
+		for k := 1; k <= nLPL; k++ {
+			offset[k] = k + below
+		}
+	}
+
+	assign := make([]int, l.Graph().N())
+	for v := 0; v < l.Graph().N(); v++ {
+		assign[v] = offset[l.Layer(v)]
+	}
+	s := layering.FromAssignment(l.Graph(), assign)
+	// Record the full stretched layer count even though the top layers may
+	// be empty, so the ants see the whole search space.
+	s.SetNumLayers(maxLayers)
+	return s
+}

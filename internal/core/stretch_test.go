@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+)
+
+func TestStretchBetween(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for i := 0; i < 25; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(50)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Stretch(g, g.N(), StretchBetween)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumLayers() != g.N() {
+			t.Fatalf("stretched layers = %d, want %d", s.NumLayers(), g.N())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("stretched layering invalid: %v", err)
+		}
+		// The stretched layering collapses back to the LPL one.
+		lpl, _ := longestpath.Layer(g)
+		c := s.Clone()
+		c.Normalize()
+		for v := 0; v < g.N(); v++ {
+			if c.Layer(v) != lpl.Layer(v) {
+				t.Fatal("stretch changed relative layer structure")
+			}
+		}
+	}
+}
+
+func TestStretchPreservesOrder(t *testing.T) {
+	g := graphgen.Path(5) // LPL: layers 1..5
+	s, err := Stretch(g, 13, StretchBetween)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 new layers over 4 gaps: 2 each; old layer k moves to k+2(k-1).
+	want := []int{1, 4, 7, 10, 13}
+	for v := 0; v < 5; v++ {
+		if s.Layer(v) != want[v] {
+			t.Fatalf("Layer(%d) = %d, want %d", v, s.Layer(v), want[v])
+		}
+	}
+}
+
+func TestStretchUnevenGaps(t *testing.T) {
+	g := graphgen.Path(3) // LPL: 3 layers, 2 gaps
+	s, err := Stretch(g, 6, StretchBetween)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 new layers over 2 gaps: first gap 2, second 1.
+	if s.Layer(0) != 1 || s.Layer(1) != 4 || s.Layer(2) != 6 {
+		t.Fatalf("layers = %d,%d,%d want 1,4,6", s.Layer(0), s.Layer(1), s.Layer(2))
+	}
+}
+
+func TestStretchEndsMode(t *testing.T) {
+	g := graphgen.Path(3)
+	s, err := Stretch(g, 7, StretchEnds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 new layers: 2 below, 2 above; old layers shift by 2.
+	if s.Layer(0) != 3 || s.Layer(1) != 4 || s.Layer(2) != 5 {
+		t.Fatalf("layers = %d,%d,%d want 3,4,5", s.Layer(0), s.Layer(1), s.Layer(2))
+	}
+	if s.NumLayers() != 7 {
+		t.Fatalf("NumLayers = %d, want 7", s.NumLayers())
+	}
+}
+
+func TestStretchNoOp(t *testing.T) {
+	g := graphgen.Path(4)
+	lpl, _ := longestpath.Layer(g)
+	s := StretchLayering(lpl, 3, StretchBetween) // fewer than current
+	for v := 0; v < 4; v++ {
+		if s.Layer(v) != lpl.Layer(v) {
+			t.Fatal("no-op stretch moved vertices")
+		}
+	}
+}
+
+func TestStretchSingleLayerLPL(t *testing.T) {
+	// Edgeless graph: LPL has one layer and no gaps; both modes must
+	// still enlarge the search space without crashing.
+	g := dag.New(4)
+	for _, mode := range []StretchMode{StretchBetween, StretchEnds} {
+		s, err := Stretch(g, 4, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumLayers() != 4 {
+			t.Fatalf("%v: NumLayers = %d, want 4", mode, s.NumLayers())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStretchDoesNotModifyInput(t *testing.T) {
+	g := graphgen.Path(4)
+	lpl, _ := longestpath.Layer(g)
+	orig := lpl.Assignment()
+	StretchLayering(lpl, 10, StretchBetween)
+	for v, l := range lpl.Assignment() {
+		if l != orig[v] {
+			t.Fatal("StretchLayering mutated input")
+		}
+	}
+}
+
+func TestStretchCyclic(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	if _, err := Stretch(g, 2, StretchBetween); err == nil {
+		t.Fatal("Stretch accepted cyclic graph")
+	}
+}

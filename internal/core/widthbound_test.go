@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+)
+
+// dagNew is a local alias so test intent reads as "n isolated vertices".
+func dagNew(n int) *dag.Graph { return dag.New(n) }
+
+func TestWidthBoundValidation(t *testing.T) {
+	p := DefaultParams()
+	p.WidthBound = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative WidthBound accepted")
+	}
+}
+
+func TestWidthBoundNeverExceededByMoves(t *testing.T) {
+	// With a bound, every move an ant makes lands on a layer whose
+	// resulting width stays within the bound — unless the layer was
+	// already over the bound in the inherited state (staying put is
+	// always allowed).
+	rng := rand.New(rand.NewSource(120))
+	for i := 0; i < 10; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(20+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpl, _ := longestpath.Layer(g)
+		bound := lpl.WidthIncludingDummies(1) // achievable: the seed obeys it
+		p := DefaultParams()
+		p.WidthBound = bound
+		res, err := Run(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Layering.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if w := res.Layering.WidthIncludingDummies(1); w > bound+1e-9 {
+			t.Fatalf("width %g exceeds bound %g", w, bound)
+		}
+	}
+}
+
+func TestWidthBoundTightBoundStillValid(t *testing.T) {
+	// An unachievably tight bound must not break feasibility: ants just
+	// stay put and the result remains a valid layering (the seed).
+	rng := rand.New(rand.NewSource(121))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.WidthBound = 0.5 // below any single vertex width
+	res, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Layering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthBoundNarrowsResult(t *testing.T) {
+	// Ten isolated vertices all start on layer 1 (width 10); with a bound
+	// of 4 the ants must spread them over at least three layers, and no
+	// layer may end wider than the bound.
+	g := dagNew(10)
+	p := DefaultParams()
+	p.Tours = 15
+	p.WidthBound = 4
+	bounded, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := bounded.Layering.WidthIncludingDummies(1); w > 4+1e-9 {
+		t.Fatalf("bounded width = %g", w)
+	}
+	if h := bounded.Layering.Height(); h < 3 {
+		t.Fatalf("height = %d, want >= 3", h)
+	}
+}
+
+func TestWidthBoundUnreachableOnStar(t *testing.T) {
+	// On K(1,10) every layer between the source and the sinks is crossed
+	// by all ten edges, so any bound below 10 makes every move
+	// inadmissible: the colony must return the (over-bound) seed rather
+	// than violate feasibility.
+	g := graphgen.CompleteBipartite(1, 10)
+	p := DefaultParams()
+	p.WidthBound = 4
+	res, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Layering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := res.Layering.WidthIncludingDummies(1); w != 10 {
+		t.Fatalf("star width = %g, want the frozen seed's 10", w)
+	}
+}

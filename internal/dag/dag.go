@@ -1,0 +1,303 @@
+// Package dag provides a from-scratch directed-graph data structure and the
+// graph algorithms required by the layering heuristics in this repository.
+//
+// It is the stdlib-only substitute for the LEDA 5.0 GRAPH<int,int> type used
+// by the original implementation of Andreev, Healy and Nikolov (IPPS 2007).
+// Vertices are dense integer identifiers 0..N()-1. Edges are directed u -> v;
+// throughout the repository a layering assigns layer(u) > layer(v) for every
+// edge (u, v), i.e. edges point "downward" towards layer 1.
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by graph mutators and algorithms.
+var (
+	// ErrVertexRange reports a vertex identifier outside [0, N()).
+	ErrVertexRange = errors.New("dag: vertex out of range")
+	// ErrSelfLoop reports an attempt to add an edge (v, v).
+	ErrSelfLoop = errors.New("dag: self-loop not permitted")
+	// ErrDuplicateEdge reports an attempt to add an edge twice.
+	ErrDuplicateEdge = errors.New("dag: duplicate edge")
+	// ErrCyclic reports that an operation requiring acyclicity found a cycle.
+	ErrCyclic = errors.New("dag: graph contains a cycle")
+)
+
+// Edge is a directed edge from U to V.
+type Edge struct {
+	U, V int
+}
+
+// Graph is a directed graph with dense integer vertices.
+//
+// The zero value is an empty graph ready to use. Graph does not enforce
+// acyclicity on insertion (cycle removal is a pipeline step, see package
+// sugiyama); call IsAcyclic or TopologicalOrder to verify.
+type Graph struct {
+	out    [][]int   // out[u] lists successors of u in insertion order
+	in     [][]int   // in[v] lists predecessors of v in insertion order
+	widths []float64 // widths[v] is the drawing width of v; 0 means default 1.0
+	labels []string  // labels[v] is an optional text label
+	m      int       // number of edges
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		out:    make([][]int, n),
+		in:     make([][]int, n),
+		widths: make([]float64, n),
+		labels: make([]string, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.out) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddVertex appends a new isolated vertex and returns its identifier.
+func (g *Graph) AddVertex() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.widths = append(g.widths, 0)
+	g.labels = append(g.labels, "")
+	return len(g.out) - 1
+}
+
+// AddEdge inserts the directed edge (u, v). It rejects out-of-range
+// endpoints, self-loops and duplicate edges.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, g.N())
+	}
+	if u == v {
+		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error. It is intended for tests and
+// for construction sites where the endpoints are known to be valid.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return false
+	}
+	// Scan the smaller endpoint list.
+	if len(g.out[u]) <= len(g.in[v]) {
+		for _, w := range g.out[u] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range g.in[v] {
+		if w == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Succ returns the successors of v (targets of outgoing edges). The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Succ(v int) []int { return g.out[v] }
+
+// Pred returns the predecessors of v (sources of incoming edges). The
+// returned slice is owned by the graph and must not be modified.
+func (g *Graph) Pred(v int) []int { return g.in[v] }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// Degree returns InDegree(v) + OutDegree(v).
+func (g *Graph) Degree(v int) int { return len(g.in[v]) + len(g.out[v]) }
+
+// Edges returns all edges in a deterministic order (by source, then
+// insertion order of the out-list).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			es = append(es, Edge{u, v})
+		}
+	}
+	return es
+}
+
+// Sources returns the vertices with no incoming edges.
+func (g *Graph) Sources() []int {
+	var s []int
+	for v := range g.in {
+		if len(g.in[v]) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// Sinks returns the vertices with no outgoing edges.
+func (g *Graph) Sinks() []int {
+	var s []int
+	for v := range g.out {
+		if len(g.out[v]) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// Width returns the drawing width of v. Unset widths default to 1.0, the
+// unit width used by the paper for unlabeled vertices.
+func (g *Graph) Width(v int) float64 {
+	if g.widths[v] == 0 {
+		return 1.0
+	}
+	return g.widths[v]
+}
+
+// SetWidth sets the drawing width of v. Non-positive values reset the
+// vertex to the default unit width.
+func (g *Graph) SetWidth(v int, w float64) {
+	if w <= 0 {
+		g.widths[v] = 0
+		return
+	}
+	g.widths[v] = w
+}
+
+// Label returns the text label of v ("" when unset).
+func (g *Graph) Label(v int) string { return g.labels[v] }
+
+// SetLabel sets the text label of v.
+func (g *Graph) SetLabel(v int, s string) { g.labels[v] = s }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		out:    make([][]int, g.N()),
+		in:     make([][]int, g.N()),
+		widths: append([]float64(nil), g.widths...),
+		labels: append([]string(nil), g.labels...),
+		m:      g.m,
+	}
+	for v := range g.out {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	return c
+}
+
+// Reverse returns a copy of the graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	c := New(g.N())
+	copy(c.widths, g.widths)
+	copy(c.labels, g.labels)
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			c.out[v] = append(c.out[v], u)
+			c.in[u] = append(c.in[u], v)
+		}
+	}
+	c.m = g.m
+	return c
+}
+
+// Validate checks internal consistency (mirrored adjacency, no self-loops,
+// no duplicates, in-range endpoints). It is used by tests and by the I/O
+// layer after deserialization.
+func (g *Graph) Validate() error {
+	if len(g.in) != len(g.out) || len(g.widths) != len(g.out) || len(g.labels) != len(g.out) {
+		return errors.New("dag: internal slices disagree on vertex count")
+	}
+	count := 0
+	for u := range g.out {
+		seen := make(map[int]bool, len(g.out[u]))
+		for _, v := range g.out[u] {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("%w: edge (%d,%d)", ErrVertexRange, u, v)
+			}
+			if v == u {
+				return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+			}
+			if seen[v] {
+				return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+			}
+			seen[v] = true
+			count++
+			found := false
+			for _, w := range g.in[v] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dag: edge (%d,%d) missing from in-list", u, v)
+			}
+		}
+	}
+	if count != g.m {
+		return fmt.Errorf("dag: edge count %d disagrees with stored m=%d", count, g.m)
+	}
+	inCount := 0
+	for v := range g.in {
+		inCount += len(g.in[v])
+		for _, u := range g.in[v] {
+			if u < 0 || u >= g.N() {
+				return fmt.Errorf("%w: in-edge (%d,%d)", ErrVertexRange, u, v)
+			}
+		}
+	}
+	if inCount != g.m {
+		return fmt.Errorf("dag: in-list edge count %d disagrees with m=%d", inCount, g.m)
+	}
+	return nil
+}
+
+// Equal reports whether g and h have the same vertex count and edge set
+// (ignoring widths and labels and adjacency order).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for u := range g.out {
+		if len(g.out[u]) != len(h.out[u]) {
+			return false
+		}
+		for _, v := range g.out[u] {
+			if !h.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("dag.Graph{n=%d m=%d}", g.N(), g.M())
+}

@@ -1,0 +1,282 @@
+package dag
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdges(t *testing.T, g *Graph, edges ...[2]int) {
+	t.Helper()
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", e[0], e[1], err)
+		}
+	}
+}
+
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	mustEdges(t, g, [2]int{3, 2}, [2]int{3, 1}, [2]int{2, 0}, [2]int{1, 0})
+	return g
+}
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	g := New(-5)
+	if g.N() != 0 {
+		t.Fatalf("New(-5).N() = %d, want 0", g.N())
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.N() != 3 {
+		t.Fatalf("AddVertex = %d, N = %d; want 2, 3", v, g.N())
+	}
+	if g.Degree(v) != 0 {
+		t.Fatalf("new vertex has degree %d", g.Degree(v))
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge direction wrong")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		u, v int
+		want error
+	}{
+		{-1, 0, ErrVertexRange},
+		{0, 3, ErrVertexRange},
+		{5, 5, ErrVertexRange},
+		{1, 1, ErrSelfLoop},
+	}
+	for _, c := range cases {
+		if err := g.AddEdge(c.u, c.v); !errors.Is(err, c.want) {
+			t.Errorf("AddEdge(%d,%d) = %v, want %v", c.u, c.v, err, c.want)
+		}
+	}
+	g.MustAddEdge(0, 1)
+	if err := g.AddEdge(0, 1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate AddEdge = %v, want ErrDuplicateEdge", err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("failed AddEdge mutated graph: M=%d", g.M())
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge did not panic on self-loop")
+		}
+	}()
+	New(1).MustAddEdge(0, 0)
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 7) {
+		t.Fatal("HasEdge out of range returned true")
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := diamond(t)
+	want := []Edge{{1, 0}, {2, 0}, {3, 2}, {3, 1}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("Edges len = %d, want %d", len(got), len(want))
+	}
+	for i, e := range []Edge{{1, 0}, {2, 0}, {3, 2}, {3, 1}} {
+		_ = e
+		_ = i
+	}
+	// Deterministic order: by source then insertion order.
+	exp := []Edge{{1, 0}, {2, 0}, {3, 2}, {3, 1}}
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("Edges[%d] = %v, want %v", i, got[i], exp[i])
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	src := g.Sources()
+	if len(src) != 1 || src[0] != 3 {
+		t.Fatalf("Sources = %v, want [3]", src)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0] != 0 {
+		t.Fatalf("Sinks = %v, want [0]", snk)
+	}
+}
+
+func TestWidthDefaults(t *testing.T) {
+	g := New(2)
+	if g.Width(0) != 1.0 {
+		t.Fatalf("default width = %g, want 1", g.Width(0))
+	}
+	g.SetWidth(0, 2.5)
+	if g.Width(0) != 2.5 {
+		t.Fatalf("width = %g, want 2.5", g.Width(0))
+	}
+	g.SetWidth(0, -1) // reset to default
+	if g.Width(0) != 1.0 {
+		t.Fatalf("reset width = %g, want 1", g.Width(0))
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New(1)
+	if g.Label(0) != "" {
+		t.Fatal("default label not empty")
+	}
+	g.SetLabel(0, "root")
+	if g.Label(0) != "root" {
+		t.Fatalf("label = %q", g.Label(0))
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	g.SetWidth(1, 3)
+	g.SetLabel(2, "two")
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	if c.Width(1) != 3 || c.Label(2) != "two" {
+		t.Fatal("clone lost attributes")
+	}
+	c.MustAddEdge(3, 0)
+	if g.HasEdge(3, 0) {
+		t.Fatal("clone shares storage with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone Validate: %v", err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := diamond(t)
+	r := g.Reverse()
+	if r.M() != g.M() || r.N() != g.N() {
+		t.Fatal("Reverse changed sizes")
+	}
+	for _, e := range g.Edges() {
+		if !r.HasEdge(e.V, e.U) {
+			t.Fatalf("Reverse missing edge (%d,%d)", e.V, e.U)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Reverse Validate: %v", err)
+	}
+	rr := r.Reverse()
+	if !rr.Equal(g) {
+		t.Fatal("double reverse != original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	g := diamond(t)
+	h := diamond(t)
+	if !g.Equal(h) {
+		t.Fatal("identical graphs not Equal")
+	}
+	h.MustAddEdge(3, 0)
+	if g.Equal(h) {
+		t.Fatal("different graphs Equal")
+	}
+	if g.Equal(New(4)) {
+		t.Fatal("graph equal to edgeless graph")
+	}
+	if g.Equal(New(5)) {
+		t.Fatal("graphs with different n Equal")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := diamond(t)
+	if got := g.String(); got != "dag.Graph{n=4 m=4}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomDAG builds a random simple DAG with edges from higher to lower
+// ids. m is clamped to the simple-DAG maximum so an over-ambitious edge
+// request cannot spin the rejection sampler forever.
+func randomDAG(rng *rand.Rand, n, m int) *Graph {
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
+	g := New(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u < v {
+			u, v = v, u
+		}
+		if g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	return g
+}
+
+func TestValidateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		n := 2 + rng.Intn(30)
+		m := rng.Intn(n * (n - 1) / 2)
+		g := randomDAG(rng, n, m)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("random graph invalid: %v", err)
+		}
+	}
+}
+
+func TestCloneEqualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := randomDAG(r, n, r.Intn(n))
+		return g.Clone().Equal(g)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

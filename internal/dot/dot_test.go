@@ -1,0 +1,283 @@
+package dot
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"antlayer/internal/dag"
+)
+
+func TestReadBasic(t *testing.T) {
+	n, err := ReadString(`digraph G { a -> b; b -> c; a -> c; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Graph.N() != 3 || n.Graph.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 3, 3", n.Graph.N(), n.Graph.M())
+	}
+	a, b, c := n.ID["a"], n.ID["b"], n.ID["c"]
+	if !n.Graph.HasEdge(a, b) || !n.Graph.HasEdge(b, c) || !n.Graph.HasEdge(a, c) {
+		t.Fatal("edges missing")
+	}
+}
+
+func TestReadEdgeChain(t *testing.T) {
+	n, err := ReadString(`digraph { a -> b -> c -> d; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Graph.M() != 3 {
+		t.Fatalf("chain m=%d, want 3", n.Graph.M())
+	}
+}
+
+func TestReadAttributes(t *testing.T) {
+	n, err := ReadString(`digraph {
+		node [shape=box];
+		a [label="Vertex A", width=2.5];
+		b [width=0.5]
+		a -> b [style=dotted];
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n.ID["a"]
+	if n.Graph.Label(a) != "Vertex A" {
+		t.Fatalf("label = %q", n.Graph.Label(a))
+	}
+	if n.Graph.Width(a) != 2.5 {
+		t.Fatalf("width = %g", n.Graph.Width(a))
+	}
+	if n.Graph.Width(n.ID["b"]) != 0.5 {
+		t.Fatalf("width b = %g", n.Graph.Width(n.ID["b"]))
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	n, err := ReadString(`
+// leading comment
+digraph { /* block
+comment */ a -> b; # trailing
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Graph.M() != 1 {
+		t.Fatalf("m=%d, want 1", n.Graph.M())
+	}
+}
+
+func TestReadQuotedNames(t *testing.T) {
+	n, err := ReadString(`digraph { "node one" -> "node:two"; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.ID["node one"]; !ok {
+		t.Fatal("quoted name not registered")
+	}
+	if _, ok := n.ID["node:two"]; !ok {
+		t.Fatal("quoted name with punctuation not registered")
+	}
+}
+
+func TestReadStrict(t *testing.T) {
+	if _, err := ReadString(`strict digraph X { a -> b; }`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRepeatedEdgeTolerated(t *testing.T) {
+	n, err := ReadString(`digraph { a -> b; a -> b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Graph.M() != 1 {
+		t.Fatalf("m=%d, want 1 (duplicate collapsed)", n.Graph.M())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`graph { a -- b; }`,          // undirected
+		`digraph { a -> ; }`,         // missing target
+		`digraph { a -> a; }`,        // self loop
+		`digraph { a -> b`,           // missing brace
+		`digraph { a [x] }`,          // malformed attr
+		`digraph { } trailing`,       // trailing tokens
+		`digraph { "unterminated`,    // unterminated string
+		`digraph { a -> b; } }`,      // extra brace
+		`digraph { a - b; }`,         // bad arrow
+		`digraph { a [width=abc]; }`, // unparsable width value
+	}
+	for _, src := range cases {
+		if _, err := ReadString(src); err == nil {
+			t.Errorf("ReadString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	g := dag.New(4)
+	g.SetLabel(0, "start")
+	g.SetLabel(1, "a b") // requires quoting
+	g.SetWidth(2, 3.5)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 0)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\noutput was:\n%s", err, buf.String())
+	}
+	if n.Graph.N() != 4 || n.Graph.M() != 4 {
+		t.Fatalf("round trip: n=%d m=%d", n.Graph.N(), n.Graph.M())
+	}
+	// Width survives.
+	found := false
+	for v := 0; v < n.Graph.N(); v++ {
+		if n.Graph.Width(v) == 3.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("width lost in round trip")
+	}
+}
+
+func TestWriteIsolatedVertex(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	g2 := dag.New(3) // vertex 2 isolated
+	g2.MustAddEdge(1, 0)
+	var buf bytes.Buffer
+	if err := Write(&buf, g2, ""); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Graph.N() != 3 {
+		t.Fatalf("isolated vertex lost: n=%d", n.Graph.N())
+	}
+	_ = g
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		n := 2 + rng.Intn(25)
+		g := dag.New(n)
+		for tries := 0; tries < n*2; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u < v {
+				u, v = v, u
+			}
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g, "r"); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Graph.N() != g.N() || parsed.Graph.M() != g.M() {
+			t.Fatalf("round trip size mismatch: (%d,%d) vs (%d,%d)",
+				parsed.Graph.N(), parsed.Graph.M(), g.N(), g.M())
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := dag.New(5)
+	g.MustAddEdge(4, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("edge list round trip changed graph")
+	}
+}
+
+func TestEdgeListComments(t *testing.T) {
+	src := "# corpus graph\n3 2\n\n2 1\n# mid comment\n1 0\n"
+	g, err := ReadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x y",
+		"-1 2",
+		"3 2\n1 1",      // self loop
+		"3 5\n2 1",      // truncated
+		"2 1\n5 0",      // out of range
+		"2 2\n1 0\n1 0", // duplicate
+	}
+	for _, src := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNamedVertexReuse(t *testing.T) {
+	n := NewNamed()
+	a1 := n.Vertex("a")
+	a2 := n.Vertex("a")
+	if a1 != a2 {
+		t.Fatal("Vertex created duplicate for same name")
+	}
+	b := n.Vertex("b")
+	if b == a1 {
+		t.Fatal("distinct names share a vertex")
+	}
+	names := n.SortedNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("SortedNames = %v", names)
+	}
+}
+
+func TestQuoteIfNeeded(t *testing.T) {
+	cases := map[string]string{
+		"abc":  "abc",
+		"a_b1": "a_b1",
+		"1abc": `"1abc"`,
+		"a b":  `"a b"`,
+		"":     `""`,
+		"a-b":  `"a-b"`,
+	}
+	for in, want := range cases {
+		if got := quoteIfNeeded(in); got != want {
+			t.Errorf("quoteIfNeeded(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

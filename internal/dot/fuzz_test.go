@@ -1,0 +1,92 @@
+package dot
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"antlayer/internal/dag"
+)
+
+// TestParserNeverPanics feeds the tokenizer/parser random byte soup and
+// asserts it fails gracefully (error or success, never a panic). The
+// parser guards a CLI entry point, so robustness against hostile input is
+// part of its contract.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	alphabet := []byte(`digraph{}[];,="->ab \n\t/**/#`)
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(120)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = Read(bytes.NewReader(b))
+		}()
+	}
+}
+
+// TestEdgeListNeverPanics does the same for the edge-list reader.
+func TestEdgeListNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	alphabet := []byte("0123456789 -\n#x")
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(80)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("edge list reader panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = ReadEdgeList(bytes.NewReader(b))
+		}()
+	}
+}
+
+// TestLabelRoundTripQuick writes graphs whose labels contain arbitrary
+// strings and checks they survive the DOT round trip.
+func TestLabelRoundTripQuick(t *testing.T) {
+	f := func(label string) bool {
+		// The writer emits quoted strings; control characters other than
+		// \n and \t are outside the supported subset.
+		for _, r := range label {
+			if r < 0x20 && r != '\n' && r != '\t' {
+				return true
+			}
+		}
+		g := dag.New(2)
+		g.MustAddEdge(1, 0)
+		g.SetLabel(0, label)
+		var buf bytes.Buffer
+		if err := Write(&buf, g, "q"); err != nil {
+			return false
+		}
+		parsed, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if label == "" {
+			return true // empty labels fall back to generated names
+		}
+		for v := 0; v < parsed.Graph.N(); v++ {
+			if parsed.Graph.Label(v) == label {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

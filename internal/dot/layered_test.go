@@ -1,0 +1,51 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+)
+
+func TestWriteLayered(t *testing.T) {
+	g := dag.New(4)
+	g.SetLabel(0, "sink")
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 0)
+	l, err := layering.New(g, []int{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLayered(&buf, l, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "rank=same") != 3 {
+		t.Fatalf("want 3 rank=same groups:\n%s", out)
+	}
+	if !strings.Contains(out, "sink") {
+		t.Fatal("label lost")
+	}
+	// Top layer emitted first.
+	if strings.Index(out, "__rank3") > strings.Index(out, "rank=same; __rank1") &&
+		strings.Index(out, "rank=same; __rank3") > strings.Index(out, "rank=same; __rank1") {
+		t.Fatalf("layer order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "style=invis") {
+		t.Fatal("anchor chain missing")
+	}
+}
+
+func TestWriteLayeredInvalid(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	bad := layering.FromAssignment(g, []int{2, 1})
+	if err := WriteLayered(new(bytes.Buffer), bad, ""); err == nil {
+		t.Fatal("invalid layering accepted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package exact solves the compact-layering objective H + W (height plus
+// width including dummy vertices) to optimality by branch and bound, for
+// small instances.
+//
+// The paper's reference [11] (Nikolov's PhD thesis) treats DAG layering
+// with width and height constraints as an integer program; minimum-width
+// layering subject to minimum height is NP-complete, so no polynomial
+// algorithm is expected. This solver exists to measure the heuristics'
+// optimality gap on small graphs (experiment E11 in DESIGN.md): it
+// enumerates layer assignments in topological order with feasibility
+// propagation and prunes on a lower bound of the objective.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+	"antlayer/internal/longestpath"
+)
+
+// ErrTooLarge reports an instance beyond the solver's size limit.
+var ErrTooLarge = errors.New("exact: instance too large for exact solving")
+
+// MaxVertices bounds the instance size the solver accepts; beyond this the
+// search space is hopeless and callers should use the heuristics.
+const MaxVertices = 16
+
+// Options configures the solver.
+type Options struct {
+	// DummyWidth is the width of a dummy vertex.
+	DummyWidth float64
+	// MaxLayers bounds the layer count explored; 0 means n layers (the
+	// same search space the ant colony uses).
+	MaxLayers int
+	// NodeLimit aborts the search after this many search nodes (0 = no
+	// limit). When hit, the best solution found so far is returned with
+	// Result.Proven == false.
+	NodeLimit int64
+}
+
+// Result carries the optimum (or incumbent) layering and solver stats.
+type Result struct {
+	Layering  *layering.Layering
+	Objective float64 // H + W including dummies
+	Nodes     int64   // search nodes expanded
+	Proven    bool    // true when the search space was exhausted
+}
+
+// Minimize finds a layering of g minimising H + W·(incl. dummies).
+func Minimize(g *dag.Graph, opts Options) (*Result, error) {
+	n := g.N()
+	if n > MaxVertices {
+		return nil, fmt.Errorf("%w: %d vertices (limit %d)", ErrTooLarge, n, MaxVertices)
+	}
+	if opts.DummyWidth <= 0 {
+		opts.DummyWidth = 1
+	}
+	if n == 0 {
+		return &Result{Layering: layering.FromAssignment(g, nil), Proven: true}, nil
+	}
+	maxH := opts.MaxLayers
+	if maxH <= 0 || maxH > n {
+		maxH = n
+	}
+
+	// Topological order: assigning vertices sources-first means every
+	// vertex's predecessors are placed when it is reached, bounding its
+	// layer from above.
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Incumbent: the LPL layering (already feasible), which also provides
+	// the initial upper bound.
+	lpl, err := longestpath.Layer(g)
+	if err != nil {
+		return nil, err
+	}
+	s := &solver{
+		g:      g,
+		opts:   opts,
+		maxH:   maxH,
+		order:  order,
+		assign: make([]int, n),
+		widths: make([]float64, maxH+1),
+		best:   lpl.Assignment(),
+	}
+	s.bestObj = objective(g, s.best, opts.DummyWidth)
+	// minBelow[v] = longest path to a sink: v cannot go below that + 1.
+	toSink, err := g.LongestPathToSink()
+	if err != nil {
+		return nil, err
+	}
+	s.minLayer = make([]int, n)
+	for v, d := range toSink {
+		s.minLayer[v] = d + 1
+	}
+
+	proven := s.search(0)
+
+	l := layering.FromAssignment(g, s.best)
+	l.Normalize()
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: internal error, invalid incumbent: %w", err)
+	}
+	return &Result{
+		Layering:  l,
+		Objective: objective(g, s.best, opts.DummyWidth),
+		Nodes:     s.nodes,
+		Proven:    proven,
+	}, nil
+}
+
+// objective computes H + W(incl. dummies) of a full assignment.
+func objective(g *dag.Graph, assign []int, wd float64) float64 {
+	l := layering.FromAssignment(g, append([]int(nil), assign...))
+	l.Normalize()
+	return float64(l.Height()) + l.WidthIncludingDummies(wd)
+}
+
+type solver struct {
+	g        *dag.Graph
+	opts     Options
+	maxH     int
+	order    []int
+	minLayer []int     // lowest feasible layer per vertex (longest path)
+	assign   []int     // partial assignment, 0 = unassigned
+	widths   []float64 // real-vertex width per layer so far (1-based)
+	best     []int
+	bestObj  float64
+	nodes    int64
+}
+
+// search assigns order[idx..]; returns false when the node limit aborted
+// the search (so optimality is unproven).
+func (s *solver) search(idx int) bool {
+	s.nodes++
+	if s.opts.NodeLimit > 0 && s.nodes > s.opts.NodeLimit {
+		return false
+	}
+	if idx == len(s.order) {
+		if obj := objective(s.g, s.assign, s.opts.DummyWidth); obj < s.bestObj {
+			s.bestObj = obj
+			copy(s.best, s.assign)
+		}
+		return true
+	}
+	v := s.order[idx]
+	// Predecessors are all assigned (topological order): v must sit at
+	// least one below the lowest predecessor.
+	hi := s.maxH
+	for _, u := range s.g.Pred(v) {
+		if s.assign[u]-1 < hi {
+			hi = s.assign[u] - 1
+		}
+	}
+	lo := s.minLayer[v]
+	proven := true
+	for l := lo; l <= hi; l++ {
+		s.assign[v] = l
+		s.widths[l] += s.g.Width(v)
+		if s.bound(idx) < s.bestObj {
+			if !s.search(idx + 1) {
+				proven = false
+			}
+		}
+		s.widths[l] -= s.g.Width(v)
+		s.assign[v] = 0
+		if !proven {
+			break
+		}
+	}
+	return proven
+}
+
+// bound returns a lower bound on the objective of any completion: the
+// current maximum real-vertex layer width (dummies and unassigned vertices
+// only add width) plus the minimum achievable height (the graph's longest
+// path + 1, since normalization removes empty layers the bound on H is the
+// LPL height of the whole graph... we use the number of distinct occupied
+// layers so far, which any completion can only keep or grow).
+func (s *solver) bound(idx int) float64 {
+	maxW := 0.0
+	occupied := 0
+	for l := 1; l <= s.maxH; l++ {
+		if s.widths[l] > 0 {
+			occupied++
+		}
+		if s.widths[l] > maxW {
+			maxW = s.widths[l]
+		}
+	}
+	h := occupied
+	if min := s.minHeightAll(); min > h {
+		h = min
+	}
+	return float64(h) + maxW
+}
+
+// minHeightAll is the minimum possible final height: longest path + 1.
+func (s *solver) minHeightAll() int {
+	min := 0
+	for _, m := range s.minLayer {
+		if m > min {
+			min = m
+		}
+	}
+	return min
+}
+
+// Gap measures a heuristic layering against the proven optimum: it returns
+// (heuristic - optimal) / optimal for the H+W objective. Both layerings
+// must belong to the same graph.
+func Gap(optimal *Result, heuristic *layering.Layering, dummyWidth float64) float64 {
+	h := float64(heuristic.Height()) + heuristic.WidthIncludingDummies(dummyWidth)
+	if optimal.Objective == 0 {
+		return 0
+	}
+	return (h - optimal.Objective) / optimal.Objective
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antlayer/internal/coffmangraham"
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+	"antlayer/internal/netsimplex"
+)
+
+// Extra algorithm names (DESIGN.md E10).
+const (
+	NameNetworkSimplex = "NetworkSimplex"
+	NameCoffmanGraham  = "CoffmanGraham(w=4)"
+)
+
+// ExtendedAlgorithms returns the paper's five algorithms plus the two
+// extension baselines: the exact network simplex layering (the method the
+// Promote heuristic approximates) and Coffman–Graham with width 4.
+func ExtendedAlgorithms(opts Options) []Algorithm {
+	algos := StandardAlgorithms(opts)
+	algos = append(algos,
+		Algorithm{NameNetworkSimplex, func(g *dag.Graph, _ int64) (*layering.Layering, error) {
+			return netsimplex.Layer(g)
+		}},
+		Algorithm{NameCoffmanGraham, func(g *dag.Graph, _ int64) (*layering.Layering, error) {
+			return coffmangraham.Layer(g, 4)
+		}},
+	)
+	return algos
+}
+
+// RunExtended evaluates the extended algorithm set over the corpus.
+func RunExtended(opts Options) (*Results, error) {
+	opts = opts.normalized()
+	return RunAlgorithms(ExtendedAlgorithms(opts), opts)
+}
+
+// CheckExtendedShapes verifies the relationships the extension baselines
+// must satisfy by construction:
+//
+//   - NetworkSimplex achieves the minimum dummy count, so neither LPL,
+//     LPL+PL nor the ant colony can beat it;
+//   - Promote Layering approximates network simplex from above;
+//   - Coffman–Graham respects its width bound on real vertices.
+func (r *Results) CheckExtendedShapes() *ShapeReport {
+	rep := &ShapeReport{}
+	dummies := func(m Measurement) float64 { return m.Dummies }
+	widthExcl := func(m Measurement) float64 { return m.WidthExcl }
+
+	ns := r.overallMean(NameNetworkSimplex, dummies)
+	lplPL := r.overallMean(NameLPLPL, dummies)
+	lpl := r.overallMean(NameLPL, dummies)
+	ac := r.overallMean(NameAntColony, dummies)
+	cgW := r.overallMean(NameCoffmanGraham, widthExcl)
+
+	add := func(claim string, pass bool, detail string) {
+		rep.Checks = append(rep.Checks, ShapeCheck{Figure: "E10", Claim: claim, Pass: pass, Detail: detail})
+	}
+	add("NetworkSimplex DVC <= LPL+PL DVC", ns <= lplPL+1e-9,
+		fmt.Sprintf("NS=%.2f LPL+PL=%.2f", ns, lplPL))
+	add("NetworkSimplex DVC <= LPL DVC", ns <= lpl+1e-9,
+		fmt.Sprintf("NS=%.2f LPL=%.2f", ns, lpl))
+	add("NetworkSimplex DVC <= AntColony DVC", ns <= ac+1e-9,
+		fmt.Sprintf("NS=%.2f AC=%.2f", ns, ac))
+	add("CoffmanGraham mean real width <= 4", cgW <= 4+1e-9,
+		fmt.Sprintf("CG=%.2f bound=4", cgW))
+	return rep
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRunExtended(t *testing.T) {
+	opts := tinyOptions()
+	res, err := RunExtended(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{NameNetworkSimplex, NameCoffmanGraham} {
+		means, ok := res.Mean[name]
+		if !ok || len(means) == 0 {
+			t.Fatalf("series %q missing", name)
+		}
+	}
+	rep := res.CheckExtendedShapes()
+	if len(rep.Checks) != 4 {
+		t.Fatalf("checks = %d, want 4", len(rep.Checks))
+	}
+	for _, c := range rep.Failed() {
+		t.Errorf("[%s] %s failed: %s", c.Figure, c.Claim, c.Detail)
+	}
+}
+
+func TestExtendedDVCOrdering(t *testing.T) {
+	// Per-group: network simplex is the exact optimum, so it lower-bounds
+	// every other algorithm group-wise, not just on average.
+	res, err := RunExtended(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := res.Mean[NameNetworkSimplex]
+	for _, other := range []string{NameLPL, NameLPLPL, NameMinWidth, NameMinWidthPL, NameAntColony} {
+		series := res.Mean[other]
+		for gi := range ns {
+			if ns[gi].Dummies > series[gi].Dummies+1e-9 {
+				t.Fatalf("group %d: NetworkSimplex DVC %.2f above %s's %.2f",
+					gi, ns[gi].Dummies, other, series[gi].Dummies)
+			}
+		}
+	}
+}

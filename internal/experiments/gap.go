@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"antlayer/internal/core"
+	"antlayer/internal/dag"
+	"antlayer/internal/exact"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/layering"
+	"antlayer/internal/longestpath"
+	"antlayer/internal/minwidth"
+	"antlayer/internal/promote"
+	"antlayer/internal/stats"
+)
+
+// GapResult summarises a heuristic's optimality gap on small instances
+// (DESIGN.md E11): relative excess of H+W over the proven optimum.
+type GapResult struct {
+	Name    string
+	Mean    float64 // mean relative gap, e.g. 0.08 = 8% above optimal
+	Max     float64
+	Optimal int // instances solved exactly by the heuristic
+	Total   int
+}
+
+// GapStudy solves `instances` random DAGs with n vertices to optimality
+// and measures the heuristics against the optimum. n must be within the
+// exact solver's limit.
+func GapStudy(n, instances int, seed int64) ([]GapResult, error) {
+	if n > exact.MaxVertices {
+		return nil, fmt.Errorf("experiments: gap study needs n <= %d, got %d", exact.MaxVertices, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type heuristic struct {
+		name string
+		run  func(g *dag.Graph) (*layering.Layering, error)
+	}
+	acoParams := core.DefaultParams()
+	heuristics := []heuristic{
+		{NameLPL, func(g *dag.Graph) (*layering.Layering, error) { return longestpath.Layer(g) }},
+		{NameLPLPL, func(g *dag.Graph) (*layering.Layering, error) {
+			l, err := longestpath.Layer(g)
+			if err != nil {
+				return nil, err
+			}
+			improved, _ := promote.Apply(l)
+			return improved, nil
+		}},
+		{NameMinWidth, func(g *dag.Graph) (*layering.Layering, error) { return minwidth.LayerBest(g, 1) }},
+		{NameAntColony, func(g *dag.Graph) (*layering.Layering, error) {
+			p := acoParams
+			p.Seed++
+			acoParams = p
+			return core.Layer(g, p)
+		}},
+	}
+	gaps := make(map[string][]float64, len(heuristics))
+
+	for i := 0; i < instances; i++ {
+		g, err := graphgen.Generate(graphgen.Config{N: n, EdgeFactor: 1.3, MaxDegree: 5, Connected: true}, rng)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := exact.Minimize(g, exact.Options{DummyWidth: 1, NodeLimit: 5_000_000})
+		if err != nil {
+			return nil, err
+		}
+		if !opt.Proven {
+			continue // skip unproven instances; the study needs true optima
+		}
+		for _, h := range heuristics {
+			l, err := h.run(g)
+			if err != nil {
+				return nil, err
+			}
+			gaps[h.name] = append(gaps[h.name], exact.Gap(opt, l, 1))
+		}
+	}
+
+	var out []GapResult
+	for _, h := range heuristics {
+		gs := gaps[h.name]
+		r := GapResult{Name: h.name, Total: len(gs)}
+		for _, g := range gs {
+			if g <= 1e-9 {
+				r.Optimal++
+			}
+			if g > r.Max {
+				r.Max = g
+			}
+		}
+		r.Mean = stats.Mean(gs)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteGapTable formats a gap study.
+func WriteGapTable(w io.Writer, n int, results []GapResult) error {
+	if _, err := fmt.Fprintf(w, "Optimality gap vs exact H+W optimum (n=%d, DESIGN.md E11)\n", n); err != nil {
+		return err
+	}
+	headers := []string{"heuristic", "mean gap", "max gap", "exact hits"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.1f%%", r.Mean*100),
+			fmt.Sprintf("%.1f%%", r.Max*100),
+			fmt.Sprintf("%d/%d", r.Optimal, r.Total),
+		})
+	}
+	return stats.WriteAligned(w, headers, rows)
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGapStudy(t *testing.T) {
+	results, err := GapStudy(8, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 heuristics", len(results))
+	}
+	for _, r := range results {
+		if r.Total == 0 {
+			t.Fatalf("%s measured zero instances", r.Name)
+		}
+		if r.Mean < -1e-9 {
+			t.Fatalf("%s negative mean gap %g (heuristic beat the optimum?)", r.Name, r.Mean)
+		}
+		if r.Max < r.Mean-1e-9 {
+			t.Fatalf("%s max gap %g below mean %g", r.Name, r.Max, r.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteGapTable(&buf, 8, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean gap") {
+		t.Fatal("gap table header missing")
+	}
+}
+
+func TestGapStudyACOBeatsLPL(t *testing.T) {
+	// On small instances the colony should close at least as much of the
+	// gap as plain LPL on average.
+	results, err := GapStudy(9, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]GapResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if byName[NameAntColony].Mean > byName[NameLPL].Mean+1e-9 {
+		t.Fatalf("ACO mean gap %.3f worse than LPL %.3f",
+			byName[NameAntColony].Mean, byName[NameLPL].Mean)
+	}
+}
+
+func TestGapStudyTooLarge(t *testing.T) {
+	if _, err := GapStudy(40, 1, 1); err == nil {
+		t.Fatal("oversized gap study accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antlayer/internal/stats"
+)
+
+// ShapeReport collects qualitative checks of the reproduced figures against
+// the relationships the paper reports (§VII). Absolute values differ — the
+// corpus is synthetic — but the orderings and ratios should hold.
+type ShapeReport struct {
+	Checks []ShapeCheck
+}
+
+// ShapeCheck is one paper claim and whether the reproduction matches it.
+type ShapeCheck struct {
+	Figure string
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// Failed returns the failing checks.
+func (r *ShapeReport) Failed() []ShapeCheck {
+	var out []ShapeCheck
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// overallMean averages a metric over all groups for one algorithm.
+func (r *Results) overallMean(name string, get func(Measurement) float64) float64 {
+	means := r.Mean[name]
+	if len(means) == 0 {
+		return 0
+	}
+	ys := make([]float64, len(means))
+	for i, m := range means {
+		ys[i] = get(m)
+	}
+	return stats.Mean(ys)
+}
+
+// CheckShapes verifies the figure-level relationships the paper reports.
+// The tolerances are deliberately loose: the corpus is synthetic and the
+// claims are about orderings, not absolute values.
+func (r *Results) CheckShapes() *ShapeReport {
+	rep := &ShapeReport{}
+	widthIncl := func(m Measurement) float64 { return m.WidthIncl }
+	height := func(m Measurement) float64 { return m.Height }
+	dummies := func(m Measurement) float64 { return m.Dummies }
+	density := func(m Measurement) float64 { return m.EdgeDensity }
+	millis := func(m Measurement) float64 { return m.Millis }
+
+	ac := func(get func(Measurement) float64) float64 { return r.overallMean(NameAntColony, get) }
+	lpl := func(get func(Measurement) float64) float64 { return r.overallMean(NameLPL, get) }
+	lplPL := func(get func(Measurement) float64) float64 { return r.overallMean(NameLPLPL, get) }
+	mw := func(get func(Measurement) float64) float64 { return r.overallMean(NameMinWidth, get) }
+	mwPL := func(get func(Measurement) float64) float64 { return r.overallMean(NameMinWidthPL, get) }
+
+	add := func(fig, claim string, pass bool, detail string) {
+		rep.Checks = append(rep.Checks, ShapeCheck{Figure: fig, Claim: claim, Pass: pass, Detail: detail})
+	}
+
+	// Fig 4: AC width (incl. dummies) smaller than LPL, comparable to LPL+PL.
+	add("Fig 4", "AntColony width (incl. dummies) < LPL width",
+		ac(widthIncl) < lpl(widthIncl),
+		fmt.Sprintf("AC=%.2f LPL=%.2f", ac(widthIncl), lpl(widthIncl)))
+	add("Fig 4", "AntColony width within 25%% of LPL+PL width",
+		ac(widthIncl) <= 1.25*lplPL(widthIncl),
+		fmt.Sprintf("AC=%.2f LPL+PL=%.2f", ac(widthIncl), lplPL(widthIncl)))
+
+	// Fig 5: MinWidth+PL best on width incl. dummies, AC close behind and
+	// ahead of plain MinWidth.
+	add("Fig 5", "AntColony width (incl. dummies) <= MinWidth width",
+		ac(widthIncl) <= 1.05*mw(widthIncl),
+		fmt.Sprintf("AC=%.2f MinWidth=%.2f", ac(widthIncl), mw(widthIncl)))
+	add("Fig 5", "MinWidth+PL width within 25%% of AntColony width",
+		mwPL(widthIncl) <= 1.25*ac(widthIncl) && ac(widthIncl) <= 1.6*mwPL(widthIncl),
+		fmt.Sprintf("AC=%.2f MinWidth+PL=%.2f", ac(widthIncl), mwPL(widthIncl)))
+
+	// Fig 6: LPL wins height; AC is 20-30% (allow up to 60%) taller; AC
+	// keeps roughly the LPL dummy count.
+	add("Fig 6", "LPL height <= AntColony height",
+		lpl(height) <= ac(height)+1e-9,
+		fmt.Sprintf("LPL=%.2f AC=%.2f", lpl(height), ac(height)))
+	add("Fig 6", "AntColony height within 60%% above LPL height",
+		ac(height) <= 1.6*lpl(height)+1,
+		fmt.Sprintf("AC=%.2f LPL=%.2f", ac(height), lpl(height)))
+	add("Fig 6", "AntColony DVC within 50%% of plain LPL DVC",
+		ac(dummies) <= 1.5*lpl(dummies)+2,
+		fmt.Sprintf("AC=%.2f LPL=%.2f", ac(dummies), lpl(dummies)))
+	add("Fig 6", "AntColony DVC >= LPL+PL DVC",
+		ac(dummies) >= lplPL(dummies)-1e-9,
+		fmt.Sprintf("AC=%.2f LPL+PL=%.2f", ac(dummies), lplPL(dummies)))
+
+	// Fig 8/9: AC edge density no worse than LPL's, between the MinWidth
+	// variants (loosely).
+	add("Fig 8", "AntColony edge density <= LPL edge density",
+		ac(density) <= lpl(density)+0.5,
+		fmt.Sprintf("AC=%.2f LPL=%.2f", ac(density), lpl(density)))
+	add("Fig 9", "AntColony edge density within band of MinWidth variants",
+		ac(density) <= maxF(mw(density), mwPL(density))+0.5,
+		fmt.Sprintf("AC=%.2f MW=%.2f MW+PL=%.2f", ac(density), mw(density), mwPL(density)))
+
+	// Fig 8/9 runtime: the bases are fastest; AC slower but within a small
+	// constant factor of the PL-combined pipelines (paper: "not much
+	// higher").
+	add("Fig 8", "LPL faster than AntColony",
+		lpl(millis) < ac(millis),
+		fmt.Sprintf("LPL=%.3fms AC=%.3fms", lpl(millis), ac(millis)))
+	add("Fig 9", "MinWidth faster than AntColony",
+		mw(millis) < ac(millis),
+		fmt.Sprintf("MW=%.3fms AC=%.3fms", mw(millis), ac(millis)))
+
+	return rep
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"antlayer/internal/core"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/stats"
+)
+
+// TuningCell is one grid point of a parameter study.
+type TuningCell struct {
+	Alpha, Beta float64
+	// Objective is the mean 1/(H+W) over the sample (higher is better).
+	Objective float64
+	// HPlusW is the mean H+W (lower is better; what the paper discusses).
+	HPlusW float64
+	// Millis is the mean colony running time.
+	Millis float64
+}
+
+// AlphaBetaStudy reproduces the §VIII α/β tuning: the colony runs over the
+// sample for every (α, β) in the given ranges. The paper scanned 1..5 for
+// both and reported (3,5) best with (1,3) the runtime-friendly runner-up.
+func AlphaBetaStudy(opts Options, alphas, betas []float64) ([]TuningCell, error) {
+	opts = opts.normalized()
+	groups, err := graphgen.CorpusSample(opts.Seed, opts.PerGroup)
+	if err != nil {
+		return nil, err
+	}
+	var cells []TuningCell
+	for _, a := range alphas {
+		for _, b := range betas {
+			p := opts.ACO
+			p.Alpha, p.Beta = a, b
+			cell := TuningCell{Alpha: a, Beta: b}
+			count := 0
+			for _, group := range groups {
+				for gi, g := range group.Graphs {
+					p.Seed = opts.ACO.Seed + int64(gi) + int64(group.Vertices)*1000
+					start := time.Now()
+					res, err := core.Run(g, p)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: alpha-beta (%g,%g): %w", a, b, err)
+					}
+					cell.Millis += float64(time.Since(start).Nanoseconds()) / 1e6
+					cell.Objective += res.Objective
+					cell.HPlusW += float64(res.Height) + res.Width
+					count++
+				}
+			}
+			if count > 0 {
+				cell.Objective /= float64(count)
+				cell.HPlusW /= float64(count)
+				cell.Millis /= float64(count)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// WriteAlphaBetaTable formats the study as a β-by-α matrix of mean H+W.
+func WriteAlphaBetaTable(w io.Writer, cells []TuningCell, alphas, betas []float64) error {
+	if _, err := fmt.Fprintln(w, "Parameter tuning (§VIII): mean H+W by (alpha, beta); lower is better"); err != nil {
+		return err
+	}
+	headers := []string{"alpha\\beta"}
+	for _, b := range betas {
+		headers = append(headers, fmt.Sprintf("%g", b))
+	}
+	lookup := make(map[[2]float64]TuningCell, len(cells))
+	for _, c := range cells {
+		lookup[[2]float64{c.Alpha, c.Beta}] = c
+	}
+	var rows [][]string
+	for _, a := range alphas {
+		row := []string{fmt.Sprintf("%g", a)}
+		for _, b := range betas {
+			row = append(row, fmt.Sprintf("%.2f", lookup[[2]float64{a, b}].HPlusW))
+		}
+		rows = append(rows, row)
+	}
+	return stats.WriteAligned(w, headers, rows)
+}
+
+// NdWidthCell is one dummy-width grid point of the §VIII nd_width study.
+type NdWidthCell struct {
+	NdWidth float64
+	// WidthIncl and Height are means over the sample, both evaluated with
+	// the *same* reference dummy width (1.0) so the cells are comparable;
+	// NdWidth only steers the colony's heuristic.
+	WidthIncl float64
+	Height    float64
+	HPlusW    float64
+	Millis    float64
+}
+
+// NdWidthStudy reproduces the dummy-vertex-width sweep: the colony is run
+// with nd_width from the given values (paper: 0.1..1.2 step 0.1; best 1.1,
+// adopted 1.0).
+func NdWidthStudy(opts Options, values []float64) ([]NdWidthCell, error) {
+	opts = opts.normalized()
+	groups, err := graphgen.CorpusSample(opts.Seed, opts.PerGroup)
+	if err != nil {
+		return nil, err
+	}
+	const referenceWidth = 1.0
+	var cells []NdWidthCell
+	for _, nd := range values {
+		p := opts.ACO
+		p.DummyWidth = nd
+		cell := NdWidthCell{NdWidth: nd}
+		count := 0
+		for _, group := range groups {
+			for gi, g := range group.Graphs {
+				p.Seed = opts.ACO.Seed + int64(gi) + int64(group.Vertices)*1000
+				start := time.Now()
+				res, err := core.Run(g, p)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: nd_width %g: %w", nd, err)
+				}
+				cell.Millis += float64(time.Since(start).Nanoseconds()) / 1e6
+				w := res.Layering.WidthIncludingDummies(referenceWidth)
+				h := float64(res.Layering.Height())
+				cell.WidthIncl += w
+				cell.Height += h
+				cell.HPlusW += h + w
+				count++
+			}
+		}
+		if count > 0 {
+			cell.WidthIncl /= float64(count)
+			cell.Height /= float64(count)
+			cell.HPlusW /= float64(count)
+			cell.Millis /= float64(count)
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// WriteNdWidthTable formats the nd_width study.
+func WriteNdWidthTable(w io.Writer, cells []NdWidthCell) error {
+	if _, err := fmt.Fprintln(w, "Parameter tuning (§VIII): layering quality by nd_width (metrics at reference dummy width 1.0)"); err != nil {
+		return err
+	}
+	headers := []string{"nd_width", "mean width", "mean height", "mean H+W", "mean ms"}
+	var rows [][]string
+	for _, c := range cells {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", c.NdWidth),
+			fmt.Sprintf("%.2f", c.WidthIncl),
+			fmt.Sprintf("%.2f", c.Height),
+			fmt.Sprintf("%.2f", c.HPlusW),
+			fmt.Sprintf("%.3f", c.Millis),
+		})
+	}
+	return stats.WriteAligned(w, headers, rows)
+}

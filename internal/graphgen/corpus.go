@@ -1,0 +1,185 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"antlayer/internal/dag"
+)
+
+// Corpus mirrors the paper's benchmark set: 1277 graphs in 19 groups with
+// vertex counts 10, 15, ..., 100 (§VII).
+const (
+	// GroupCount is the number of vertex-count groups.
+	GroupCount = 19
+	// MinVertices and GroupStep define the group sizes 10, 15, ..., 100.
+	MinVertices = 10
+	GroupStep   = 5
+	// TotalGraphs is the corpus size; 1277 = 19·67 + 4, so the first four
+	// groups hold 68 graphs and the rest 67.
+	TotalGraphs = 1277
+)
+
+// Group is one vertex-count bucket of the corpus.
+type Group struct {
+	// Vertices is the vertex count shared by all graphs of the group.
+	Vertices int
+	// Graphs holds the group's DAGs.
+	Graphs []*dag.Graph
+}
+
+// GroupSizes returns how many graphs each of the 19 groups holds; the
+// counts sum to TotalGraphs.
+func GroupSizes() []int {
+	sizes := make([]int, GroupCount)
+	base := TotalGraphs / GroupCount
+	rem := TotalGraphs % GroupCount
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// GroupVertices returns the vertex count of group i (0-based).
+func GroupVertices(i int) int { return MinVertices + i*GroupStep }
+
+// Family selects the structural profile of a generated corpus. The default
+// Sparse family substitutes the AT&T benchmark set; the others exist for
+// sensitivity studies (how do the algorithms behave on trees, pre-layered
+// or denser graphs?).
+type Family int
+
+const (
+	// Sparse is the default AT&T-like profile: weakly connected random
+	// DAGs with m/n ≈ 1.4 and bounded degree.
+	Sparse Family = iota
+	// Trees are random out-trees directed towards a unique sink.
+	Trees
+	// LayeredFamily pre-assigns vertices to ~sqrt(n) ranks with edges
+	// between consecutive ranks only.
+	LayeredFamily
+	// Dense doubles the edge factor of Sparse (m/n ≈ 2.8).
+	Dense
+)
+
+func (f Family) String() string {
+	switch f {
+	case Sparse:
+		return "sparse"
+	case Trees:
+		return "trees"
+	case LayeredFamily:
+		return "layered"
+	case Dense:
+		return "dense"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// ParseFamily maps a CLI name to a Family.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "sparse", "":
+		return Sparse, nil
+	case "trees":
+		return Trees, nil
+	case "layered":
+		return LayeredFamily, nil
+	case "dense":
+		return Dense, nil
+	default:
+		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense)", s)
+	}
+}
+
+// generate builds one graph of the family with n vertices.
+func (f Family) generate(n int, rng *rand.Rand) (*dag.Graph, error) {
+	switch f {
+	case Trees:
+		return Tree(n, rng), nil
+	case LayeredFamily:
+		layers := 2
+		for layers*layers < n {
+			layers++
+		}
+		return Layered(n, layers, 0.3, rng)
+	case Dense:
+		return Generate(Config{N: n, EdgeFactor: 2.8, MaxDegree: 10, Connected: true}, rng)
+	default:
+		return Generate(DefaultConfig(n), rng)
+	}
+}
+
+// Corpus generates the full 1277-graph benchmark corpus deterministically
+// from the seed.
+func Corpus(seed int64) ([]Group, error) {
+	return CorpusSample(seed, 0)
+}
+
+// CorpusSample generates the Sparse corpus with at most perGroup graphs
+// per group (0 means the full group size). Experiments that only need
+// statistical shape use small samples to stay fast.
+func CorpusSample(seed int64, perGroup int) ([]Group, error) {
+	return CorpusFamily(seed, perGroup, Sparse)
+}
+
+// CorpusFamily generates a corpus of the given family with the same group
+// structure as the paper's benchmark set.
+func CorpusFamily(seed int64, perGroup int, family Family) ([]Group, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := GroupSizes()
+	groups := make([]Group, GroupCount)
+	for i := range groups {
+		n := GroupVertices(i)
+		count := sizes[i]
+		if perGroup > 0 && perGroup < count {
+			count = perGroup
+		}
+		groups[i].Vertices = n
+		groups[i].Graphs = make([]*dag.Graph, count)
+		for j := range groups[i].Graphs {
+			g, err := family.generate(n, rng)
+			if err != nil {
+				return nil, fmt.Errorf("graphgen: corpus group %d graph %d: %w", i, j, err)
+			}
+			groups[i].Graphs[j] = g
+		}
+	}
+	return groups, nil
+}
+
+// CorpusStats summarises a corpus for logging and tests.
+type CorpusStats struct {
+	Groups         int
+	Graphs         int
+	MinVertices    int
+	MaxVertices    int
+	MeanEdgeFactor float64
+}
+
+// Stats computes summary statistics over the groups.
+func Stats(groups []Group) CorpusStats {
+	st := CorpusStats{Groups: len(groups)}
+	totalFactor, totalGraphs := 0.0, 0
+	for _, gr := range groups {
+		for _, g := range gr.Graphs {
+			totalGraphs++
+			totalFactor += float64(g.M()) / float64(g.N())
+			if st.MinVertices == 0 || g.N() < st.MinVertices {
+				st.MinVertices = g.N()
+			}
+			if g.N() > st.MaxVertices {
+				st.MaxVertices = g.N()
+			}
+		}
+	}
+	st.Graphs = totalGraphs
+	if totalGraphs > 0 {
+		st.MeanEdgeFactor = totalFactor / float64(totalGraphs)
+	}
+	return st
+}

@@ -1,0 +1,98 @@
+package graphgen
+
+import "testing"
+
+func TestGroupSizes(t *testing.T) {
+	sizes := GroupSizes()
+	if len(sizes) != GroupCount {
+		t.Fatalf("groups = %d, want %d", len(sizes), GroupCount)
+	}
+	total := 0
+	for i, s := range sizes {
+		total += s
+		if s != 67 && s != 68 {
+			t.Fatalf("group %d size %d", i, s)
+		}
+	}
+	if total != TotalGraphs {
+		t.Fatalf("total = %d, want %d", total, TotalGraphs)
+	}
+}
+
+func TestGroupVertices(t *testing.T) {
+	if GroupVertices(0) != 10 || GroupVertices(18) != 100 {
+		t.Fatalf("group vertices: %d, %d", GroupVertices(0), GroupVertices(18))
+	}
+}
+
+func TestCorpusSample(t *testing.T) {
+	groups, err := CorpusSample(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != GroupCount {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for i, gr := range groups {
+		if gr.Vertices != GroupVertices(i) {
+			t.Fatalf("group %d vertices = %d", i, gr.Vertices)
+		}
+		if len(gr.Graphs) != 3 {
+			t.Fatalf("group %d sample = %d, want 3", i, len(gr.Graphs))
+		}
+		for _, g := range gr.Graphs {
+			if g.N() != gr.Vertices {
+				t.Fatalf("graph n=%d in group %d", g.N(), gr.Vertices)
+			}
+			if !g.IsAcyclic() || !g.IsWeaklyConnected() {
+				t.Fatal("corpus graph invalid")
+			}
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := CorpusSample(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CorpusSample(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Graphs {
+			if !a[i].Graphs[j].Equal(b[i].Graphs[j]) {
+				t.Fatal("corpus not deterministic")
+			}
+		}
+	}
+}
+
+func TestCorpusFullSizeHeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus generation in -short mode")
+	}
+	groups, err := Corpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(groups)
+	if st.Graphs != TotalGraphs {
+		t.Fatalf("full corpus = %d graphs, want %d", st.Graphs, TotalGraphs)
+	}
+	if st.MinVertices != 10 || st.MaxVertices != 100 {
+		t.Fatalf("vertex range [%d,%d], want [10,100]", st.MinVertices, st.MaxVertices)
+	}
+	// The corpus substitutes the AT&T set's sparse profile (m/n ~ 1.4).
+	if st.MeanEdgeFactor < 1.2 || st.MeanEdgeFactor > 1.6 {
+		t.Fatalf("mean edge factor = %.2f, want ~1.4", st.MeanEdgeFactor)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(nil)
+	if st.Graphs != 0 || st.MeanEdgeFactor != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}

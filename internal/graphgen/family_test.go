@@ -1,0 +1,88 @@
+package graphgen
+
+import (
+	"testing"
+)
+
+func TestParseFamily(t *testing.T) {
+	cases := map[string]Family{
+		"sparse":  Sparse,
+		"":        Sparse,
+		"trees":   Trees,
+		"layered": LayeredFamily,
+		"dense":   Dense,
+	}
+	for in, want := range cases {
+		got, err := ParseFamily(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFamily(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFamily("nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for f, want := range map[Family]string{
+		Sparse: "sparse", Trees: "trees", LayeredFamily: "layered", Dense: "dense",
+	} {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if Family(99).String() == "" {
+		t.Error("unknown family has empty string")
+	}
+}
+
+func TestCorpusFamilies(t *testing.T) {
+	for _, fam := range []Family{Sparse, Trees, LayeredFamily, Dense} {
+		groups, err := CorpusFamily(3, 2, fam)
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		if len(groups) != GroupCount {
+			t.Fatalf("%v: groups = %d", fam, len(groups))
+		}
+		for _, gr := range groups {
+			for _, g := range gr.Graphs {
+				if g.N() != gr.Vertices {
+					t.Fatalf("%v: n=%d in group %d", fam, g.N(), gr.Vertices)
+				}
+				if !g.IsAcyclic() {
+					t.Fatalf("%v: cyclic corpus graph", fam)
+				}
+				if err := g.Validate(); err != nil {
+					t.Fatalf("%v: %v", fam, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFamilyProfiles(t *testing.T) {
+	trees, err := CorpusFamily(3, 2, Trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gr := range trees {
+		for _, g := range gr.Graphs {
+			if g.M() != g.N()-1 {
+				t.Fatalf("tree with %d edges for %d vertices", g.M(), g.N())
+			}
+		}
+	}
+	dense, err := CorpusFamily(3, 2, Dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := CorpusFamily(3, 2, Sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Stats(dense).MeanEdgeFactor <= Stats(sparse).MeanEdgeFactor {
+		t.Fatalf("dense factor %.2f not above sparse %.2f",
+			Stats(dense).MeanEdgeFactor, Stats(sparse).MeanEdgeFactor)
+	}
+}

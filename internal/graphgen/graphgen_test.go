@@ -1,0 +1,193 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for i := 0; i < 30; i++ {
+		n := 2 + rng.Intn(60)
+		g, err := Generate(DefaultConfig(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n {
+			t.Fatalf("N = %d, want %d", g.N(), n)
+		}
+		if !g.IsAcyclic() {
+			t.Fatal("generated graph cyclic")
+		}
+		if !g.IsWeaklyConnected() {
+			t.Fatal("Connected config produced disconnected graph")
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	bad := []Config{
+		{N: 0},
+		{N: -3},
+		{N: 5, EdgeFactor: -1},
+		{N: 5, MaxDegree: -2},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg, rng); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestGenerateDegreeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	cfg := Config{N: 50, EdgeFactor: 3, MaxDegree: 4, Connected: false}
+	g, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 4 {
+			t.Fatalf("vertex %d degree %d > bound", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGenerateEdgeTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	cfg := Config{N: 60, EdgeFactor: 1.4, Connected: true}
+	g, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 84 // round(1.4 * 60)
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+}
+
+func TestGenerateDense(t *testing.T) {
+	// Requesting more edges than a simple DAG admits must terminate and
+	// clamp.
+	rng := rand.New(rand.NewSource(64))
+	g, err := Generate(Config{N: 6, EdgeFactor: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() > 15 {
+		t.Fatalf("M = %d exceeds simple-DAG maximum 15", g.M())
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("dense generation produced cycle")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(40), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(40), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := Generate(DefaultConfig(40), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	g, err := Layered(30, 5, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("layered graph cyclic")
+	}
+	dist, err := g.LongestPathToSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dist {
+		if d >= 5 {
+			t.Fatalf("path length %d >= layers 5", d)
+		}
+	}
+}
+
+func TestLayeredErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	if _, err := Layered(5, 0, 0.5, rng); err == nil {
+		t.Fatal("layers=0 accepted")
+	}
+	if _, err := Layered(5, 6, 0.5, rng); err == nil {
+		t.Fatal("layers>n accepted")
+	}
+	if _, err := Layered(5, 2, 1.5, rng); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 {
+		t.Fatalf("path edges = %d", g.M())
+	}
+	dist, _ := g.LongestPathToSink()
+	if dist[4] != 4 {
+		t.Fatalf("path length = %d, want 4", dist[4])
+	}
+}
+
+func TestTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := Tree(20, rng)
+	if g.M() != 19 {
+		t.Fatalf("tree edges = %d, want 19", g.M())
+	}
+	if !g.IsWeaklyConnected() || !g.IsAcyclic() {
+		t.Fatal("tree not connected acyclic")
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != 0 {
+		t.Fatalf("tree sinks = %v, want [0]", sinks)
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K(3,4): n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("K(3,4) cyclic")
+	}
+}
+
+func TestGenerateAcyclicProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Generate(Config{N: n, EdgeFactor: 2, Connected: true}, rng)
+		if err != nil {
+			return false
+		}
+		return g.IsAcyclic() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

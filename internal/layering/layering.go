@@ -1,0 +1,206 @@
+// Package layering defines the layer-assignment type shared by every
+// layering algorithm in this repository together with the quality metrics
+// used in the paper's evaluation: height, width including and excluding
+// dummy vertices, dummy vertex count and edge density.
+//
+// Convention (paper §II): layers are numbered 1..h and every edge (u, v)
+// satisfies layer(u) > layer(v); sinks naturally end up in layer 1 and
+// edges point "downward" towards smaller layer numbers.
+package layering
+
+import (
+	"errors"
+	"fmt"
+
+	"antlayer/internal/dag"
+)
+
+// ErrInvalid reports a layer assignment violating the layering constraints.
+var ErrInvalid = errors.New("layering: invalid layer assignment")
+
+// Layering is a layer assignment for a fixed graph.
+//
+// A Layering is created by New (which validates) or by the algorithm
+// packages. The assignment may contain empty layers (the ACO search space
+// deliberately contains them); Normalize removes them.
+type Layering struct {
+	g     *dag.Graph
+	layer []int // 1-based layer per vertex
+	h     int   // max assigned layer (= number of layers incl. empty ones)
+}
+
+// New returns a Layering for graph g with the given 1-based assignment.
+// It fails if the assignment length mismatches, any layer is < 1, or any
+// edge (u, v) does not satisfy layer(u) > layer(v).
+func New(g *dag.Graph, assignment []int) (*Layering, error) {
+	if len(assignment) != g.N() {
+		return nil, fmt.Errorf("%w: %d assignments for %d vertices", ErrInvalid, len(assignment), g.N())
+	}
+	l := &Layering{g: g, layer: append([]int(nil), assignment...)}
+	for _, lv := range l.layer {
+		if lv > l.h {
+			l.h = lv
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// FromAssignment wraps an assignment without copying or validating. It is
+// intended for algorithm packages that construct assignments they know to
+// be valid; tests still call Validate on the results.
+func FromAssignment(g *dag.Graph, assignment []int) *Layering {
+	l := &Layering{g: g, layer: assignment}
+	for _, lv := range assignment {
+		if lv > l.h {
+			l.h = lv
+		}
+	}
+	return l
+}
+
+// Graph returns the underlying graph.
+func (l *Layering) Graph() *dag.Graph { return l.g }
+
+// Layer returns the layer of v.
+func (l *Layering) Layer(v int) int { return l.layer[v] }
+
+// SetLayer moves v to layer n (1-based). It updates the layer count but
+// performs no validity checking; callers are expected to respect the span
+// of v (see Span) or to Validate afterwards.
+func (l *Layering) SetLayer(v, n int) {
+	l.layer[v] = n
+	if n > l.h {
+		l.h = n
+	}
+}
+
+// NumLayers returns the number of layers including empty ones (the maximum
+// assigned layer, or a larger value set by SetNumLayers). After Normalize
+// this equals Height.
+func (l *Layering) NumLayers() int { return l.h }
+
+// SetNumLayers enlarges the layer count to n so that empty layers above the
+// topmost occupied one become part of the search space (used by the ACO
+// stretch step). Values below the maximum assigned layer are ignored.
+func (l *Layering) SetNumLayers(n int) {
+	if n > l.h {
+		l.h = n
+	}
+}
+
+// Assignment returns a copy of the layer assignment.
+func (l *Layering) Assignment() []int {
+	return append([]int(nil), l.layer...)
+}
+
+// Clone returns a deep copy sharing the underlying graph.
+func (l *Layering) Clone() *Layering {
+	return &Layering{g: l.g, layer: append([]int(nil), l.layer...), h: l.h}
+}
+
+// Validate checks the layering constraints from the paper's problem
+// definition: integer layers >= 1 and layer(u) - layer(v) >= 1 for every
+// edge (u, v).
+func (l *Layering) Validate() error {
+	if len(l.layer) != l.g.N() {
+		return fmt.Errorf("%w: %d assignments for %d vertices", ErrInvalid, len(l.layer), l.g.N())
+	}
+	for v, lv := range l.layer {
+		if lv < 1 {
+			return fmt.Errorf("%w: vertex %d on layer %d", ErrInvalid, v, lv)
+		}
+	}
+	for _, e := range l.g.Edges() {
+		if l.layer[e.U] <= l.layer[e.V] {
+			return fmt.Errorf("%w: edge (%d,%d) with layers (%d,%d)", ErrInvalid, e.U, e.V, l.layer[e.U], l.layer[e.V])
+		}
+	}
+	return nil
+}
+
+// Layers returns the vertices of each layer, index 0 holding layer 1.
+// Vertices appear in ascending order within a layer.
+func (l *Layering) Layers() [][]int {
+	out := make([][]int, l.h)
+	for v := 0; v < l.g.N(); v++ {
+		idx := l.layer[v] - 1
+		out[idx] = append(out[idx], v)
+	}
+	return out
+}
+
+// Normalize removes empty layers and renumbers the remaining ones
+// contiguously from 1, preserving relative order. The paper performs this
+// step after the ant colony finishes (§VI, note). It returns the number of
+// empty layers removed.
+func (l *Layering) Normalize() int {
+	if l.g.N() == 0 {
+		removed := l.h
+		l.h = 0
+		return removed
+	}
+	occupied := make([]bool, l.h+1)
+	for _, lv := range l.layer {
+		occupied[lv] = true
+	}
+	remap := make([]int, l.h+1)
+	next := 0
+	for i := 1; i <= l.h; i++ {
+		if occupied[i] {
+			next++
+			remap[i] = next
+		}
+	}
+	removed := l.h - next
+	for v := range l.layer {
+		l.layer[v] = remap[l.layer[v]]
+	}
+	l.h = next
+	return removed
+}
+
+// Height returns the number of non-empty layers. For a normalized layering
+// this equals NumLayers.
+func (l *Layering) Height() int {
+	if l.g.N() == 0 {
+		return 0
+	}
+	occupied := make([]bool, l.h+1)
+	for _, lv := range l.layer {
+		occupied[lv] = true
+	}
+	h := 0
+	for i := 1; i <= l.h; i++ {
+		if occupied[i] {
+			h++
+		}
+	}
+	return h
+}
+
+// Span returns the layer span of v under the current assignment, bounded
+// by [1, maxLayer]: the set of layers v can occupy without violating edge
+// constraints given its neighbours' current layers (paper §II). The span is
+// never empty for a valid layering (it always contains Layer(v)).
+func (l *Layering) Span(v, maxLayer int) (lo, hi int) {
+	lo, hi = 1, maxLayer
+	for _, w := range l.g.Succ(v) {
+		if l.layer[w]+1 > lo {
+			lo = l.layer[w] + 1
+		}
+	}
+	for _, u := range l.g.Pred(v) {
+		if l.layer[u]-1 < hi {
+			hi = l.layer[u] - 1
+		}
+	}
+	return lo, hi
+}
+
+// String returns a short summary.
+func (l *Layering) String() string {
+	return fmt.Sprintf("layering{h=%d layers=%d vertices=%d}", l.Height(), l.h, l.g.N())
+}

@@ -1,0 +1,221 @@
+package layering
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+)
+
+// diamond returns the 4-vertex diamond with edges pointing down:
+// 3 -> {2, 1} -> 0.
+func diamond(t *testing.T) *dag.Graph {
+	t.Helper()
+	g := dag.New(4)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 0)
+	return g
+}
+
+func TestNewValid(t *testing.T) {
+	g := diamond(t)
+	l, err := New(g, []int{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLayers() != 3 || l.Height() != 3 {
+		t.Fatalf("layers=%d height=%d, want 3, 3", l.NumLayers(), l.Height())
+	}
+	if l.Layer(3) != 3 || l.Layer(0) != 1 {
+		t.Fatal("layers wrong")
+	}
+}
+
+func TestNewInvalid(t *testing.T) {
+	g := diamond(t)
+	cases := [][]int{
+		{1, 2, 2},    // wrong length
+		{0, 1, 1, 2}, // layer < 1
+		{1, 2, 2, 2}, // edge (3,2) flat
+		{3, 2, 2, 1}, // edge (1,0) inverted
+	}
+	for _, assign := range cases {
+		if _, err := New(g, assign); !errors.Is(err, ErrInvalid) {
+			t.Errorf("New(%v) err = %v, want ErrInvalid", assign, err)
+		}
+	}
+}
+
+func TestAssignmentCopies(t *testing.T) {
+	g := diamond(t)
+	in := []int{1, 2, 2, 3}
+	l, err := New(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 99 // caller's slice must not alias
+	if l.Layer(0) != 1 {
+		t.Fatal("New aliased the caller's slice")
+	}
+	out := l.Assignment()
+	out[1] = 99
+	if l.Layer(1) != 2 {
+		t.Fatal("Assignment returned aliased slice")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	l, _ := New(g, []int{1, 2, 2, 3})
+	c := l.Clone()
+	c.SetLayer(0, 1)
+	c.SetLayer(3, 5)
+	if l.NumLayers() != 3 {
+		t.Fatal("clone mutated original")
+	}
+	if c.NumLayers() != 5 {
+		t.Fatalf("clone NumLayers = %d, want 5", c.NumLayers())
+	}
+}
+
+func TestLayers(t *testing.T) {
+	g := diamond(t)
+	l, _ := New(g, []int{1, 2, 2, 3})
+	layers := l.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("len(Layers) = %d", len(layers))
+	}
+	if len(layers[0]) != 1 || layers[0][0] != 0 {
+		t.Fatalf("layer 1 = %v", layers[0])
+	}
+	if len(layers[1]) != 2 || layers[1][0] != 1 || layers[1][1] != 2 {
+		t.Fatalf("layer 2 = %v", layers[1])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g := diamond(t)
+	l := FromAssignment(g, []int{1, 4, 4, 9})
+	removed := l.Normalize()
+	if removed != 6 {
+		t.Fatalf("removed = %d, want 6", removed)
+	}
+	if l.NumLayers() != 3 || l.Height() != 3 {
+		t.Fatalf("after normalize: layers=%d height=%d", l.NumLayers(), l.Height())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("normalized layering invalid: %v", err)
+	}
+	// Idempotent.
+	if l.Normalize() != 0 {
+		t.Fatal("second Normalize removed layers")
+	}
+}
+
+func TestNormalizeWithSetNumLayers(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	l := FromAssignment(g, []int{1, 2})
+	l.SetNumLayers(10)
+	if l.NumLayers() != 10 {
+		t.Fatalf("SetNumLayers: %d", l.NumLayers())
+	}
+	l.SetNumLayers(5) // shrink attempts ignored
+	if l.NumLayers() != 10 {
+		t.Fatalf("SetNumLayers shrank: %d", l.NumLayers())
+	}
+	l.Normalize()
+	if l.NumLayers() != 2 {
+		t.Fatalf("Normalize left %d layers", l.NumLayers())
+	}
+}
+
+func TestNormalizeEmptyGraph(t *testing.T) {
+	l := FromAssignment(dag.New(0), nil)
+	l.SetNumLayers(4)
+	l.Normalize()
+	if l.NumLayers() != 0 || l.Height() != 0 {
+		t.Fatalf("empty graph normalize: layers=%d height=%d", l.NumLayers(), l.Height())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	g := diamond(t)
+	l, _ := New(g, []int{1, 2, 2, 3})
+	// Vertex 1 sits between 0 (layer 1) and 3 (layer 3): span exactly {2}.
+	lo, hi := l.Span(1, 10)
+	if lo != 2 || hi != 2 {
+		t.Fatalf("span(1) = [%d,%d], want [2,2]", lo, hi)
+	}
+	// Source 3: bounded below by its successors at layer 2.
+	lo, hi = l.Span(3, 10)
+	if lo != 3 || hi != 10 {
+		t.Fatalf("span(3) = [%d,%d], want [3,10]", lo, hi)
+	}
+	// Sink 0: bounded above by predecessors at layer 2.
+	lo, hi = l.Span(0, 10)
+	if lo != 1 || hi != 1 {
+		t.Fatalf("span(0) = [%d,%d], want [1,1]", lo, hi)
+	}
+}
+
+func TestSpanContainsCurrentLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30; i++ {
+		g, l := randomLayered(rng, 3+rng.Intn(20))
+		max := l.NumLayers() + rng.Intn(5)
+		for v := 0; v < g.N(); v++ {
+			lo, hi := l.Span(v, max)
+			if l.Layer(v) < lo || l.Layer(v) > hi {
+				t.Fatalf("span [%d,%d] excludes current layer %d", lo, hi, l.Layer(v))
+			}
+		}
+	}
+}
+
+// randomLayered builds a random DAG and a valid layering for it (from the
+// longest path to a sink).
+func randomLayered(rng *rand.Rand, n int) (*dag.Graph, *Layering) {
+	g := dag.New(n)
+	for tries := 0; tries < n*2; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u < v {
+			u, v = v, u
+		}
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	dist, err := g.LongestPathToSink()
+	if err != nil {
+		panic(err)
+	}
+	assign := make([]int, n)
+	for v, d := range dist {
+		assign[v] = d + 1
+	}
+	return g, FromAssignment(g, assign)
+}
+
+func TestValidateAfterSetLayer(t *testing.T) {
+	g := diamond(t)
+	l, _ := New(g, []int{1, 2, 2, 3})
+	l.SetLayer(3, 2) // now edge (3,2) is flat
+	if err := l.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Validate = %v, want ErrInvalid", err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	g := diamond(t)
+	l, _ := New(g, []int{1, 2, 2, 3})
+	if s := l.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

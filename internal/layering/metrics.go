@@ -1,0 +1,128 @@
+package layering
+
+// Metrics bundles the five evaluation criteria used in the paper's
+// experiments (§VII): width including dummies, width excluding dummies,
+// height, dummy vertex count and edge density. Running time is measured by
+// the harness, not stored here.
+type Metrics struct {
+	// WidthIncl is the maximum layer width counting dummy vertices at the
+	// dummy width used to compute it.
+	WidthIncl float64
+	// WidthExcl is the maximum layer width counting only real vertices.
+	WidthExcl float64
+	// Height is the number of non-empty layers.
+	Height int
+	// DummyCount is the total number of dummy vertices a proper layering
+	// would need (sum over edges of span-1).
+	DummyCount int
+	// EdgeDensity is the maximum number of edges crossing between two
+	// adjacent horizontal levels.
+	EdgeDensity int
+}
+
+// ComputeMetrics evaluates all criteria for the layering with the given
+// dummy vertex width.
+func (l *Layering) ComputeMetrics(dummyWidth float64) Metrics {
+	return Metrics{
+		WidthIncl:   l.WidthIncludingDummies(dummyWidth),
+		WidthExcl:   l.WidthExcludingDummies(),
+		Height:      l.Height(),
+		DummyCount:  l.DummyCount(),
+		EdgeDensity: l.EdgeDensity(),
+	}
+}
+
+// LayerWidths returns, for layers 1..NumLayers (index 0 = layer 1), the sum
+// of real vertex widths on the layer plus dummyWidth for every edge that
+// crosses the layer. An edge (u, v) crosses layers Layer(v)+1 .. Layer(u)-1,
+// one dummy vertex per crossed layer (paper §II).
+func (l *Layering) LayerWidths(dummyWidth float64) []float64 {
+	w := make([]float64, l.h)
+	for v := 0; v < l.g.N(); v++ {
+		w[l.layer[v]-1] += l.g.Width(v)
+	}
+	if dummyWidth != 0 {
+		// Difference array over layers for the dummy contributions: edge
+		// (u,v) adds dummyWidth to layers [Layer(v)+1, Layer(u)-1].
+		diff := make([]float64, l.h+1)
+		for _, e := range l.g.Edges() {
+			lo := l.layer[e.V] + 1
+			hi := l.layer[e.U] - 1
+			if lo > hi {
+				continue
+			}
+			diff[lo-1] += dummyWidth
+			diff[hi] -= dummyWidth
+		}
+		acc := 0.0
+		for i := 0; i < l.h; i++ {
+			acc += diff[i]
+			w[i] += acc
+		}
+	}
+	return w
+}
+
+// WidthIncludingDummies returns the maximum layer width counting dummy
+// vertices at dummyWidth each.
+func (l *Layering) WidthIncludingDummies(dummyWidth float64) float64 {
+	max := 0.0
+	for _, w := range l.LayerWidths(dummyWidth) {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// WidthExcludingDummies returns the maximum layer width counting only real
+// vertices.
+func (l *Layering) WidthExcludingDummies() float64 {
+	return l.WidthIncludingDummies(0)
+}
+
+// DummyCount returns the number of dummy vertices required to make the
+// layering proper: the sum over all edges of (span - 1).
+func (l *Layering) DummyCount() int {
+	total := 0
+	for _, e := range l.g.Edges() {
+		total += l.layer[e.U] - l.layer[e.V] - 1
+	}
+	return total
+}
+
+// EdgeDensity returns the maximum edge density between adjacent horizontal
+// levels: for each gap between layer i and i+1, the number of edges (u, v)
+// with Layer(v) <= i < Layer(u) (paper §II).
+func (l *Layering) EdgeDensity() int {
+	if l.h < 2 {
+		return 0
+	}
+	// diff[i] counts edges beginning to cross at gap i (between layers i
+	// and i+1), via a difference array over gaps 1..h-1.
+	diff := make([]int, l.h+1)
+	for _, e := range l.g.Edges() {
+		lo := l.layer[e.V] // first gap crossed
+		hi := l.layer[e.U] // one past the last gap crossed
+		diff[lo]++
+		diff[hi]--
+	}
+	max, acc := 0, 0
+	for i := 1; i <= l.h-1; i++ {
+		acc += diff[i]
+		if acc > max {
+			max = acc
+		}
+	}
+	return max
+}
+
+// TotalEdgeSpan returns the sum of edge spans; minimising it is equivalent
+// to minimising the dummy vertex count plus the number of edges.
+func (l *Layering) TotalEdgeSpan() int {
+	total := 0
+	for _, e := range l.g.Edges() {
+		total += l.layer[e.U] - l.layer[e.V]
+	}
+	return total
+}

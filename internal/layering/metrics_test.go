@@ -1,0 +1,173 @@
+package layering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+)
+
+// chain builds the path p_{n-1} -> ... -> p_0 layered one vertex per layer.
+func chain(n int) (*dag.Graph, *Layering) {
+	g := dag.New(n)
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		assign[i] = i + 1
+		if i > 0 {
+			g.MustAddEdge(i, i-1)
+		}
+	}
+	return g, FromAssignment(g, assign)
+}
+
+func TestMetricsDiamond(t *testing.T) {
+	g := dag.New(4)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 0)
+	l, _ := New(g, []int{1, 2, 2, 3})
+	m := l.ComputeMetrics(1.0)
+	if m.Height != 3 {
+		t.Fatalf("height = %d, want 3", m.Height)
+	}
+	if m.WidthIncl != 2 || m.WidthExcl != 2 {
+		t.Fatalf("widths = %g/%g, want 2/2", m.WidthIncl, m.WidthExcl)
+	}
+	if m.DummyCount != 0 {
+		t.Fatalf("dummies = %d, want 0", m.DummyCount)
+	}
+	if m.EdgeDensity != 2 {
+		t.Fatalf("density = %d, want 2", m.EdgeDensity)
+	}
+}
+
+func TestMetricsLongEdge(t *testing.T) {
+	// 2 -> 1 -> 0 plus the long edge 2 -> 0 spanning layers 1..3.
+	g := dag.New(3)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(2, 0)
+	l, _ := New(g, []int{1, 2, 3})
+	if dc := l.DummyCount(); dc != 1 {
+		t.Fatalf("DummyCount = %d, want 1", dc)
+	}
+	// Layer 2 holds vertex 1 (width 1) plus one dummy of the long edge.
+	w := l.LayerWidths(0.5)
+	want := []float64{1, 1.5, 1}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("LayerWidths = %v, want %v", w, want)
+		}
+	}
+	if got := l.WidthIncludingDummies(0.5); got != 1.5 {
+		t.Fatalf("WidthIncl = %g, want 1.5", got)
+	}
+	if got := l.WidthExcludingDummies(); got != 1 {
+		t.Fatalf("WidthExcl = %g, want 1", got)
+	}
+	// Both gaps are crossed by 2 edges.
+	if d := l.EdgeDensity(); d != 2 {
+		t.Fatalf("EdgeDensity = %d, want 2", d)
+	}
+	if ts := l.TotalEdgeSpan(); ts != 4 {
+		t.Fatalf("TotalEdgeSpan = %d, want 4", ts)
+	}
+}
+
+func TestMetricsVertexWidths(t *testing.T) {
+	g := dag.New(2)
+	g.SetWidth(0, 3)
+	g.SetWidth(1, 0.5)
+	g.MustAddEdge(1, 0)
+	l, _ := New(g, []int{1, 2})
+	if w := l.WidthExcludingDummies(); w != 3 {
+		t.Fatalf("WidthExcl = %g, want 3", w)
+	}
+}
+
+func TestEdgeDensityChain(t *testing.T) {
+	_, l := chain(5)
+	if d := l.EdgeDensity(); d != 1 {
+		t.Fatalf("chain density = %d, want 1", d)
+	}
+}
+
+func TestEdgeDensitySingleLayer(t *testing.T) {
+	g := dag.New(3)
+	l, _ := New(g, []int{1, 1, 1})
+	if d := l.EdgeDensity(); d != 0 {
+		t.Fatalf("single-layer density = %d, want 0", d)
+	}
+}
+
+// bruteDensity recomputes edge density by scanning every gap.
+func bruteDensity(l *Layering) int {
+	max := 0
+	for gap := 1; gap < l.NumLayers(); gap++ {
+		c := 0
+		for _, e := range l.Graph().Edges() {
+			if l.Layer(e.V) <= gap && gap < l.Layer(e.U) {
+				c++
+			}
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// bruteWidths recomputes layer widths by scanning every edge per layer.
+func bruteWidths(l *Layering, wd float64) []float64 {
+	w := make([]float64, l.NumLayers())
+	for v := 0; v < l.Graph().N(); v++ {
+		w[l.Layer(v)-1] += l.Graph().Width(v)
+	}
+	for _, e := range l.Graph().Edges() {
+		for layer := l.Layer(e.V) + 1; layer <= l.Layer(e.U)-1; layer++ {
+			w[layer-1] += wd
+		}
+	}
+	return w
+}
+
+func TestMetricsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		g, l := randomLayered(rng, 3+rng.Intn(25))
+		_ = g
+		if got, want := l.EdgeDensity(), bruteDensity(l); got != want {
+			t.Fatalf("EdgeDensity = %d, brute = %d", got, want)
+		}
+		wd := 0.1 + rng.Float64()
+		got := l.LayerWidths(wd)
+		want := bruteWidths(l, wd)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("LayerWidths[%d] = %g, brute = %g", j, got[j], want[j])
+			}
+		}
+		// DummyCount equals the sum of per-layer dummy counts.
+		sum := 0
+		for layer := 1; layer <= l.NumLayers(); layer++ {
+			sum += l.DummyCountOn(layer)
+		}
+		if dc := l.DummyCount(); dc != sum {
+			t.Fatalf("DummyCount = %d, per-layer sum = %d", dc, sum)
+		}
+		// TotalEdgeSpan = DummyCount + M.
+		if l.TotalEdgeSpan() != l.DummyCount()+g.M() {
+			t.Fatal("TotalEdgeSpan != DummyCount + M")
+		}
+	}
+}
+
+func TestMetricsEmptyGraph(t *testing.T) {
+	l := FromAssignment(dag.New(0), nil)
+	m := l.ComputeMetrics(1)
+	if m.Height != 0 || m.WidthIncl != 0 || m.DummyCount != 0 || m.EdgeDensity != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+}

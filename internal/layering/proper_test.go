@@ -1,0 +1,150 @@
+package layering
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+)
+
+func TestMakeProperNoLongEdges(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	l, _ := New(g, []int{1, 2})
+	p, err := l.MakeProper(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.N() != 2 || p.Graph.M() != 1 {
+		t.Fatalf("proper graph n=%d m=%d", p.Graph.N(), p.Graph.M())
+	}
+	if len(p.Chains) != 0 {
+		t.Fatalf("chains = %d, want 0", len(p.Chains))
+	}
+}
+
+func TestMakeProperLongEdge(t *testing.T) {
+	g := dag.New(3)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(2, 0) // span 2
+	l, _ := New(g, []int{1, 2, 3})
+	p, err := l.MakeProper(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One dummy vertex on layer 2 for the long edge.
+	if p.Graph.N() != 4 {
+		t.Fatalf("proper n = %d, want 4", p.Graph.N())
+	}
+	if !p.IsDummy[3] || p.IsDummy[0] {
+		t.Fatal("IsDummy flags wrong")
+	}
+	if p.Graph.Width(3) != 0.5 {
+		t.Fatalf("dummy width = %g", p.Graph.Width(3))
+	}
+	if !p.Layering.IsProper() {
+		t.Fatal("result not proper")
+	}
+	chain, ok := p.Chains[dag.Edge{U: 2, V: 0}]
+	if !ok || len(chain) != 3 || chain[0] != 2 || chain[2] != 0 {
+		t.Fatalf("chain = %v (ok=%v)", chain, ok)
+	}
+	if err := p.Layering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeProperErrors(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	l, _ := New(g, []int{1, 2})
+	if _, err := l.MakeProper(0); err == nil {
+		t.Fatal("MakeProper(0) succeeded")
+	}
+	if _, err := l.MakeProper(-1); err == nil {
+		t.Fatal("MakeProper(-1) succeeded")
+	}
+	bad := FromAssignment(g, []int{2, 1}) // inverted edge
+	if _, err := bad.MakeProper(1); err == nil {
+		t.Fatal("MakeProper on invalid layering succeeded")
+	}
+}
+
+func TestIsProper(t *testing.T) {
+	g := dag.New(3)
+	g.MustAddEdge(2, 0)
+	l, _ := New(g, []int{1, 1, 3})
+	if l.IsProper() {
+		t.Fatal("span-2 edge reported proper")
+	}
+	l2, _ := New(g, []int{1, 1, 2})
+	if !l2.IsProper() {
+		t.Fatal("span-1 layering reported improper")
+	}
+}
+
+func TestMakeProperRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 30; i++ {
+		g, l := randomLayered(rng, 3+rng.Intn(20))
+		p, err := l.MakeProper(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dummy count matches the prediction.
+		if p.Graph.N()-g.N() != l.DummyCount() {
+			t.Fatalf("inserted %d dummies, DummyCount = %d", p.Graph.N()-g.N(), l.DummyCount())
+		}
+		// Properness and validity.
+		if !p.Layering.IsProper() {
+			t.Fatal("not proper")
+		}
+		if err := p.Layering.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Graph.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Edge count: every original edge of span s becomes s edges.
+		if p.Graph.M() != l.TotalEdgeSpan() {
+			t.Fatalf("proper M = %d, want total span %d", p.Graph.M(), l.TotalEdgeSpan())
+		}
+		// Original vertices keep their layers.
+		for v := 0; v < g.N(); v++ {
+			if p.Layering.Layer(v) != l.Layer(v) {
+				t.Fatal("original vertex moved")
+			}
+			if p.IsDummy[v] {
+				t.Fatal("original vertex marked dummy")
+			}
+		}
+		// Width including dummies is identical measured on either side.
+		got := p.Layering.WidthExcludingDummies() // dummies are real in p.Graph
+		want := l.WidthIncludingDummies(1)
+		if got != want {
+			t.Fatalf("width via proper graph = %g, via metric = %g", got, want)
+		}
+	}
+}
+
+func TestMakeProperChainLayering(t *testing.T) {
+	// A single edge spanning 4 layers yields a 3-dummy chain on
+	// consecutive layers.
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	l := FromAssignment(g, []int{1, 5})
+	p, err := l.MakeProper(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := p.Chains[dag.Edge{U: 1, V: 0}]
+	if len(chain) != 5 {
+		t.Fatalf("chain length = %d, want 5", len(chain))
+	}
+	for i := 1; i < len(chain); i++ {
+		if p.Layering.Layer(chain[i]) != p.Layering.Layer(chain[i-1])-1 {
+			t.Fatal("chain layers not consecutive")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package layering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"antlayer/internal/dag"
+)
+
+// genLayered decodes a seed into a random layered DAG; shared generator
+// for the quick properties below.
+func genLayered(seed int64) (*dag.Graph, *Layering) {
+	rng := rand.New(rand.NewSource(seed))
+	return randomLayered(rng, 2+rng.Intn(25))
+}
+
+func TestQuickNormalizePreservesValidity(t *testing.T) {
+	f := func(seed int64, stretch uint8) bool {
+		g, l := genLayered(seed)
+		// Randomly stretch layers apart, then normalize.
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		factor := int(stretch%4) + 1
+		for v := 0; v < g.N(); v++ {
+			l.SetLayer(v, (l.Layer(v)-1)*factor+1+rng.Intn(1))
+		}
+		if l.Validate() != nil {
+			return false
+		}
+		l.Normalize()
+		return l.Validate() == nil && l.NumLayers() == l.Height()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizePreservesMetricsOrderings(t *testing.T) {
+	// Normalization can only shrink spans: dummy count and widths never
+	// increase, height is unchanged.
+	f := func(seed int64) bool {
+		g, l := genLayered(seed)
+		_ = g
+		stretched := l.Clone()
+		// Spread layers by factor 3 (valid: preserves order).
+		for v := 0; v < g.N(); v++ {
+			stretched.SetLayer(v, (l.Layer(v)-1)*3+1)
+		}
+		before := stretched.Clone()
+		stretched.Normalize()
+		return stretched.DummyCount() <= before.DummyCount() &&
+			stretched.Height() == before.Height() &&
+			stretched.WidthIncludingDummies(1) <= before.WidthIncludingDummies(1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWidthMonotoneInDummyWidth(t *testing.T) {
+	// The width including dummies is monotone in the dummy width.
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		_, l := genLayered(seed)
+		a := float64(aRaw%100) / 50.0
+		b := float64(bRaw%100) / 50.0
+		if a > b {
+			a, b = b, a
+		}
+		return l.WidthIncludingDummies(a) <= l.WidthIncludingDummies(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpanBoundsRespectEdges(t *testing.T) {
+	// Any position within the computed span keeps the layering valid.
+	f := func(seed int64, pick uint16) bool {
+		g, l := genLayered(seed)
+		v := int(pick) % g.N()
+		lo, hi := l.Span(v, l.NumLayers()+3)
+		for layer := lo; layer <= hi; layer++ {
+			c := l.Clone()
+			c.SetLayer(v, layer)
+			if c.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProperIdempotent(t *testing.T) {
+	// Making a proper layering proper again adds nothing.
+	f := func(seed int64) bool {
+		_, l := genLayered(seed)
+		p, err := l.MakeProper(1)
+		if err != nil {
+			return false
+		}
+		p2, err := p.Layering.MakeProper(1)
+		if err != nil {
+			return false
+		}
+		return p2.Graph.N() == p.Graph.N() && len(p2.Chains) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package longestpath implements the Longest-Path Layering algorithm
+// (Algorithm 1 of the paper), the classic linear-time list-scheduling
+// layering that produces a minimum-height layering.
+//
+// Sinks are placed on layer 1 and every other vertex v on layer p+1 where p
+// is the maximum number of edges on a path from v to a sink. Layerings tend
+// to be wide — LPL is one of the two baselines the ACO layering is
+// evaluated against, and also the seed layering the ant colony stretches.
+package longestpath
+
+import (
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+)
+
+// Layer computes the longest-path layering of g. It returns dag.ErrCyclic
+// for cyclic input.
+func Layer(g *dag.Graph) (*layering.Layering, error) {
+	dist, err := g.LongestPathToSink()
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, g.N())
+	for v, d := range dist {
+		assign[v] = d + 1
+	}
+	return layering.FromAssignment(g, assign), nil
+}
+
+// LayerList computes the same layering with the explicit list-scheduling
+// loop of Algorithm 1 (select vertices whose successors are all placed in
+// lower layers). It exists so tests can verify the closed-form Layer
+// against the paper's literal procedure; Layer is the one callers use.
+func LayerList(g *dag.Graph) (*layering.Layering, error) {
+	if !g.IsAcyclic() {
+		return nil, dag.ErrCyclic
+	}
+	n := g.N()
+	assign := make([]int, n)
+	placed := make([]bool, n)  // U in the paper
+	settled := make([]bool, n) // Z in the paper: layers strictly below current
+	// remaining[v] counts successors of v not yet in Z.
+	remaining := make([]int, n)
+	for v := 0; v < n; v++ {
+		remaining[v] = g.OutDegree(v)
+	}
+	currentLayer := 1
+	numPlaced := 0
+	// current holds the vertices placed on the current layer, so they can
+	// be moved into Z when the layer closes.
+	var current []int
+	for numPlaced < n {
+		selected := -1
+		for v := 0; v < n; v++ {
+			if !placed[v] && remaining[v] == 0 {
+				selected = v
+				break
+			}
+		}
+		if selected >= 0 {
+			assign[selected] = currentLayer
+			placed[selected] = true
+			current = append(current, selected)
+			numPlaced++
+			continue
+		}
+		currentLayer++
+		for _, v := range current {
+			settled[v] = true
+			for _, u := range g.Pred(v) {
+				remaining[u]--
+			}
+		}
+		current = current[:0]
+	}
+	_ = settled
+	return layering.FromAssignment(g, assign), nil
+}

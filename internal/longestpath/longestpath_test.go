@@ -1,0 +1,144 @@
+package longestpath
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+)
+
+func TestLayerDiamond(t *testing.T) {
+	g := dag.New(4)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 0)
+	l, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 2, 3}
+	for v, w := range want {
+		if l.Layer(v) != w {
+			t.Fatalf("Layer(%d) = %d, want %d", v, l.Layer(v), w)
+		}
+	}
+}
+
+func TestLayerCyclic(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	if _, err := Layer(g); !errors.Is(err, dag.ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+	if _, err := LayerList(g); !errors.Is(err, dag.ErrCyclic) {
+		t.Fatalf("LayerList err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestLayerEmptyAndIsolated(t *testing.T) {
+	l, err := Layer(dag.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLayers() != 0 {
+		t.Fatalf("empty graph layers = %d", l.NumLayers())
+	}
+	l, err = Layer(dag.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 1 {
+		t.Fatalf("isolated vertices height = %d, want 1", l.Height())
+	}
+}
+
+func TestMinimumHeightProperty(t *testing.T) {
+	// LPL height equals longest path length + 1, the minimum possible.
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 30; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("invalid LPL layering: %v", err)
+		}
+		dist, _ := g.LongestPathToSink()
+		maxDist := 0
+		for _, d := range dist {
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+		if l.Height() != maxDist+1 {
+			t.Fatalf("height = %d, want %d", l.Height(), maxDist+1)
+		}
+		// No layering can be shorter than the longest path.
+		if l.NumLayers() != l.Height() {
+			t.Fatal("LPL produced empty layers")
+		}
+	}
+}
+
+func TestSinksOnLayerOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range g.Sinks() {
+		if l.Layer(s) != 1 {
+			t.Fatalf("sink %d on layer %d", s, l.Layer(s))
+		}
+	}
+	// Every non-sink sits exactly one above its highest successor.
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(v) == 0 {
+			continue
+		}
+		maxSucc := 0
+		for _, w := range g.Succ(v) {
+			if l.Layer(w) > maxSucc {
+				maxSucc = l.Layer(w)
+			}
+		}
+		if l.Layer(v) != maxSucc+1 {
+			t.Fatalf("vertex %d on layer %d, max successor on %d", v, l.Layer(v), maxSucc)
+		}
+	}
+}
+
+func TestLayerListMatchesLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 25; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(30)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LayerList(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if a.Layer(v) != b.Layer(v) {
+				t.Fatalf("vertex %d: closed-form %d, list-scheduling %d", v, a.Layer(v), b.Layer(v))
+			}
+		}
+	}
+}

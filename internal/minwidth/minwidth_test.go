@@ -1,0 +1,161 @@
+package minwidth
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+)
+
+func TestLayerValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 30; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Params{
+			{UBW: 1, C: 1, DummyWidth: 1},
+			{UBW: 2, C: 2, DummyWidth: 1},
+			{UBW: 4, C: 1, DummyWidth: 0.5},
+		} {
+			l, err := Layer(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("invalid layering for %+v: %v", p, err)
+			}
+			if l.NumLayers() != l.Height() {
+				t.Fatalf("empty layers for %+v", p)
+			}
+		}
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	bad := []Params{
+		{UBW: 0, C: 1, DummyWidth: 1},
+		{UBW: 1, C: 0, DummyWidth: 1},
+		{UBW: 1, C: 1, DummyWidth: 0},
+		{UBW: -1, C: 1, DummyWidth: 1},
+	}
+	for _, p := range bad {
+		if _, err := Layer(g, p); err == nil {
+			t.Errorf("Layer(%+v) succeeded, want error", p)
+		}
+	}
+	if _, err := LayerBest(g, 0); err == nil {
+		t.Error("LayerBest with zero dummy width succeeded")
+	}
+}
+
+func TestCyclicInput(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	if _, err := Layer(g, DefaultParams()); !errors.Is(err, dag.ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestPathGraph(t *testing.T) {
+	g := graphgen.Path(6)
+	l, err := Layer(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path admits exactly one layering: one vertex per layer.
+	if l.Height() != 6 || l.WidthExcludingDummies() != 1 {
+		t.Fatalf("path: height=%d width=%g", l.Height(), l.WidthExcludingDummies())
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	l, err := Layer(dag.New(0), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumLayers() != 0 {
+		t.Fatal("empty graph got layers")
+	}
+	l, err = Layer(dag.New(1), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Layer(0) != 1 {
+		t.Fatal("single vertex not on layer 1")
+	}
+}
+
+func TestMinWidthNarrowerThanLPLWhenWide(t *testing.T) {
+	// Star: one source over many sinks. LPL packs all sinks on layer 1
+	// (width n-1); MinWidth with UBW=2 must split them.
+	g := dag.New(9)
+	for v := 0; v < 8; v++ {
+		g.MustAddEdge(8, v)
+	}
+	lpl, err := longestpath.Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := Layer(g, Params{UBW: 2, C: 2, DummyWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mw.WidthExcludingDummies() >= lpl.WidthExcludingDummies() {
+		t.Fatalf("MinWidth %g not narrower than LPL %g",
+			mw.WidthExcludingDummies(), lpl.WidthExcludingDummies())
+	}
+}
+
+func TestLayerBestIsBestOfGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 15; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(10+rng.Intn(30)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := LayerBest(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestW := best.WidthIncludingDummies(1)
+		gridMin := math.Inf(1)
+		for ubw := 1; ubw <= 4; ubw++ {
+			for c := 1; c <= 2; c++ {
+				l, err := Layer(g, Params{UBW: float64(ubw), C: float64(c), DummyWidth: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w := l.WidthIncludingDummies(1); w < gridMin {
+					gridMin = w
+				}
+			}
+		}
+		if bestW != gridMin {
+			t.Fatalf("LayerBest width %g != grid minimum %g", bestW, gridMin)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Layer(g, DefaultParams())
+	b, _ := Layer(g, DefaultParams())
+	for v := 0; v < g.N(); v++ {
+		if a.Layer(v) != b.Layer(v) {
+			t.Fatal("MinWidth not deterministic")
+		}
+	}
+}

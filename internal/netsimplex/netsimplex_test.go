@@ -1,0 +1,260 @@
+package netsimplex
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+	"antlayer/internal/promote"
+)
+
+func TestLayerDiamond(t *testing.T) {
+	g := dag.New(4)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(1, 0)
+	l, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The diamond is already optimal: every edge tight, zero dummies.
+	if l.DummyCount() != 0 {
+		t.Fatalf("dummies = %d, want 0", l.DummyCount())
+	}
+	if l.Height() != 3 {
+		t.Fatalf("height = %d, want 3", l.Height())
+	}
+}
+
+func TestLayerPullsHangingVertices(t *testing.T) {
+	// 4 -> 3 -> 0, 4 -> {1, 2}: LPL leaves 1 and 2 on layer 1 with span-2
+	// edges; the optimum pulls them up next to their source (2 fewer
+	// dummies).
+	g := dag.New(5)
+	g.MustAddEdge(4, 3)
+	g.MustAddEdge(3, 0)
+	g.MustAddEdge(4, 1)
+	g.MustAddEdge(4, 2)
+	l, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DummyCount() != 0 {
+		t.Fatalf("dummies = %d, want 0", l.DummyCount())
+	}
+}
+
+func TestLayerCyclic(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	if _, err := Layer(g); err == nil {
+		t.Fatal("cyclic input accepted")
+	}
+}
+
+func TestLayerEdgeCases(t *testing.T) {
+	// Empty.
+	if l, err := Layer(dag.New(0)); err != nil || l.NumLayers() != 0 {
+		t.Fatalf("empty: %v, layers=%d", err, l.NumLayers())
+	}
+	// Edgeless.
+	l, err := Layer(dag.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 1 {
+		t.Fatalf("edgeless height = %d", l.Height())
+	}
+	// Path.
+	l, err = Layer(graphgen.Path(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 5 || l.DummyCount() != 0 {
+		t.Fatalf("path: height=%d dummies=%d", l.Height(), l.DummyCount())
+	}
+}
+
+func TestLayerDisconnected(t *testing.T) {
+	// Two components with different structures.
+	g := dag.New(6)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(2, 0) // component {0,1,2}
+	g.MustAddEdge(5, 4)
+	g.MustAddEdge(4, 3) // component {3,4,5}
+	l, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.DummyCount() != 0 {
+		t.Fatalf("dummies = %d, want 0", l.DummyCount())
+	}
+}
+
+func TestOptimalityAgainstBruteForce(t *testing.T) {
+	// Exhaustively verify minimality of the total edge span on small
+	// random DAGs by enumerating all layerings up to height n.
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4) // up to 6 vertices keeps enumeration cheap
+		g := dag.New(n)
+		for tries := 0; tries < n*2; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u < v {
+				u, v = v, u
+			}
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		l, err := Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := l.TotalEdgeSpan()
+		want := bruteMinSpan(g)
+		if got != want {
+			t.Fatalf("n=%d m=%d: netsimplex span %d, brute-force optimum %d", n, g.M(), got, want)
+		}
+	}
+}
+
+// bruteMinSpan enumerates all assignments into layers 1..n and returns the
+// minimum total edge span over valid layerings.
+func bruteMinSpan(g *dag.Graph) int {
+	n := g.N()
+	assign := make([]int, n)
+	best := 1 << 30
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			span := 0
+			for _, e := range g.Edges() {
+				d := assign[e.U] - assign[e.V]
+				if d < 1 {
+					return
+				}
+				span += d
+			}
+			if span < best {
+				best = span
+			}
+			return
+		}
+		for l := 1; l <= n; l++ {
+			assign[v] = l
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestNeverWorseThanPromote(t *testing.T) {
+	// Network simplex is exact; the PL heuristic and LPL cannot beat it
+	// on total span / dummy count.
+	rng := rand.New(rand.NewSource(111))
+	for i := 0; i < 25; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(60)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpl, _ := longestpath.Layer(g)
+		pl, _ := promote.Apply(lpl)
+		if ns.DummyCount() > pl.DummyCount() {
+			t.Fatalf("netsimplex dummies %d > promote %d", ns.DummyCount(), pl.DummyCount())
+		}
+		if ns.DummyCount() > lpl.DummyCount() {
+			t.Fatalf("netsimplex dummies %d > LPL %d", ns.DummyCount(), lpl.DummyCount())
+		}
+		if err := ns.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBalancedKeepsOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for i := 0; i < 20; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balanced, err := LayerBalanced(g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := balanced.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if balanced.TotalEdgeSpan() != plain.TotalEdgeSpan() {
+			t.Fatalf("balance changed total span: %d vs %d",
+				balanced.TotalEdgeSpan(), plain.TotalEdgeSpan())
+		}
+	}
+}
+
+func TestBalancedSpreadsIsolatedStructure(t *testing.T) {
+	// A path plus several balanced chain vertices hanging mid-span... use
+	// isolated vertices (in = out = 0): balance must spread them off the
+	// crowded layer 1.
+	g := dag.New(8)
+	g.MustAddEdge(7, 6)
+	g.MustAddEdge(6, 5)
+	g.MustAddEdge(5, 4)
+	// Vertices 0..3 isolated, seeded onto layer 1 by LPL.
+	plain, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := LayerBalanced(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.WidthExcludingDummies() >= plain.WidthExcludingDummies() {
+		t.Fatalf("balance did not reduce width: %g vs %g",
+			balanced.WidthExcludingDummies(), plain.WidthExcludingDummies())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if a.Layer(v) != b.Layer(v) {
+			t.Fatal("not deterministic")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package promote implements the Promote Layering (PL) heuristic of Nikolov
+// and Tarassov ("Graph layering by promotion of nodes", Discrete Applied
+// Mathematics 2006), used by the paper as a post-processing step on top of
+// both LPL and MinWidth.
+//
+// A promotion moves a vertex one layer up (towards the sources, i.e.
+// layer+1 in this repository's convention where edges point from higher to
+// lower layers). Promoting v shortens all its incoming edges by one and
+// lengthens all its outgoing edges by one; predecessors that would end up
+// on the same layer are promoted recursively first. A promotion is kept
+// only when it strictly decreases the total dummy vertex count, and the
+// heuristic iterates over all vertices until a full pass yields no
+// improvement.
+package promote
+
+import (
+	"antlayer/internal/layering"
+)
+
+// Result reports what a promotion pass achieved.
+type Result struct {
+	// Rounds is the number of full passes executed (including the final
+	// pass that found no improvement).
+	Rounds int
+	// Promotions is the number of accepted (kept) promotions.
+	Promotions int
+	// DummyDelta is the total change in dummy vertex count (<= 0).
+	DummyDelta int
+}
+
+// Apply runs the promotion heuristic on a copy of l and returns the
+// improved layering (normalized) together with statistics. The input
+// layering is not modified.
+func Apply(l *layering.Layering) (*layering.Layering, Result) {
+	work := l.Clone()
+	res := Result{}
+	n := work.Graph().N()
+	for {
+		res.Rounds++
+		improved := false
+		for v := 0; v < n; v++ {
+			// Only vertices with incoming edges can profit: promoting a
+			// source only lengthens its outgoing edges.
+			if work.Graph().InDegree(v) == 0 {
+				continue
+			}
+			backup := work.Clone()
+			if delta := promoteVertex(work, v); delta < 0 {
+				improved = true
+				res.Promotions++
+				res.DummyDelta += delta
+			} else {
+				work = backup
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	work.Normalize()
+	return work, res
+}
+
+// promoteVertex moves v one layer up, recursively promoting predecessors
+// that sit exactly one layer above, and returns the change in the total
+// dummy vertex count.
+func promoteVertex(l *layering.Layering, v int) int {
+	g := l.Graph()
+	delta := 0
+	for _, u := range g.Pred(v) {
+		if l.Layer(u) == l.Layer(v)+1 {
+			delta += promoteVertex(l, u)
+		}
+	}
+	l.SetLayer(v, l.Layer(v)+1)
+	// Incoming spans shrink by one each, outgoing spans grow by one each.
+	delta += g.OutDegree(v) - g.InDegree(v)
+	return delta
+}

@@ -1,0 +1,120 @@
+package promote
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/layering"
+	"antlayer/internal/longestpath"
+)
+
+func TestApplyReducesDummiesOnKnownGraph(t *testing.T) {
+	// 4 -> 3 -> 0 and 4 -> {1, 2}, LPL puts 1 and 2 on layer 1 creating
+	// span-2 edges; promotion lifts them to layer 2.
+	g := dag.New(5)
+	g.MustAddEdge(4, 3)
+	g.MustAddEdge(3, 0)
+	g.MustAddEdge(4, 1)
+	g.MustAddEdge(4, 2)
+	lpl, err := longestpath.Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpl.DummyCount() != 2 {
+		t.Fatalf("LPL dummies = %d, want 2", lpl.DummyCount())
+	}
+	improved, res := Apply(lpl)
+	if improved.DummyCount() != 0 {
+		t.Fatalf("promoted dummies = %d, want 0", improved.DummyCount())
+	}
+	if res.Promotions == 0 || res.DummyDelta != -2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if err := improved.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyNeverIncreasesDummies(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for i := 0; i < 40; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(5+rng.Intn(50)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpl, err := longestpath.Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := lpl.DummyCount()
+		improved, res := Apply(lpl)
+		after := improved.DummyCount()
+		if after > before {
+			t.Fatalf("promotion increased dummies: %d -> %d", before, after)
+		}
+		if res.DummyDelta != after-before {
+			t.Fatalf("DummyDelta = %d, actual change = %d", res.DummyDelta, after-before)
+		}
+		if err := improved.Validate(); err != nil {
+			t.Fatalf("invalid after promotion: %v", err)
+		}
+	}
+}
+
+func TestApplyDoesNotModifyInput(t *testing.T) {
+	g := dag.New(3)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(2, 0)
+	lpl, _ := longestpath.Layer(g)
+	orig := lpl.Assignment()
+	Apply(lpl)
+	for v, l := range lpl.Assignment() {
+		if l != orig[v] {
+			t.Fatal("Apply mutated its input")
+		}
+	}
+}
+
+func TestApplyFixpoint(t *testing.T) {
+	// Running Apply twice must not find further improvements.
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 10; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(20), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpl, _ := longestpath.Layer(g)
+		once, _ := Apply(lpl)
+		twice, res := Apply(once)
+		if res.Promotions != 0 {
+			t.Fatalf("second Apply made %d promotions", res.Promotions)
+		}
+		if twice.DummyCount() != once.DummyCount() {
+			t.Fatal("second Apply changed dummy count")
+		}
+	}
+}
+
+func TestApplyNormalizes(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	l := layering.FromAssignment(g, []int{1, 2})
+	improved, _ := Apply(l)
+	if improved.NumLayers() != improved.Height() {
+		t.Fatal("Apply returned un-normalized layering")
+	}
+}
+
+func TestApplyEdgelessGraph(t *testing.T) {
+	g := dag.New(4)
+	l := layering.FromAssignment(g, []int{1, 1, 1, 1})
+	improved, res := Apply(l)
+	if res.Promotions != 0 {
+		t.Fatalf("promotions on edgeless graph: %d", res.Promotions)
+	}
+	if improved.Height() != 1 {
+		t.Fatal("edgeless layering changed")
+	}
+}

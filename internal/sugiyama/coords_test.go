@@ -1,0 +1,139 @@
+package sugiyama
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+)
+
+// layerOrderPreserved verifies that within every layer the drawing order
+// matches the crossing-minimised ordering and the minimum spacing holds.
+func layerOrderPreserved(t *testing.T, d *Drawing, hspacing float64) {
+	t.Helper()
+	byLayer := map[int][]Node{}
+	maxLayer := 0
+	for _, n := range d.Nodes {
+		byLayer[n.Layer] = append(byLayer[n.Layer], n)
+		if n.Layer > maxLayer {
+			maxLayer = n.Layer
+		}
+	}
+	for li := 1; li <= maxLayer; li++ {
+		row := byLayer[li]
+		for i := 1; i < len(row); i++ {
+			gap := (row[i].X - row[i].W/2) - (row[i-1].X + row[i-1].W/2)
+			if gap < hspacing-1e-6 {
+				t.Fatalf("layer %d: spacing %.3f < %.3f between %d and %d",
+					li, gap, hspacing, row[i-1].V, row[i].V)
+			}
+		}
+	}
+}
+
+func TestRefinedCoordinatesKeepOrderAndSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for i := 0; i < 10; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(20+rng.Intn(40)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(LayererFunc(longestpath.Layer))
+		cfg.CoordinateSweeps = 3
+		d, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layerOrderPreserved(t, d, cfg.HSpacing)
+	}
+}
+
+// edgeDisplacement sums |x(parent) - x(child)| over all drawn edge
+// segments; the priority refinement should not make it worse than the
+// plain packing.
+func edgeDisplacement(d *Drawing) float64 {
+	total := 0.0
+	for _, e := range d.Edges {
+		for i := 1; i < len(e.Points); i++ {
+			total += math.Abs(e.Points[i].X - e.Points[i-1].X)
+		}
+	}
+	return total
+}
+
+func TestRefinementStraightensEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	improved, total := 0, 0
+	for i := 0; i < 10; i++ {
+		g, err := graphgen.Generate(graphgen.DefaultConfig(30), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := DefaultConfig(LayererFunc(longestpath.Layer))
+		base.CoordinateSweeps = 0
+		d0, err := Run(g, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := base
+		ref.CoordinateSweeps = 3
+		d1, err := Run(g, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edgeDisplacement(d1) <= edgeDisplacement(d0)+1e-9 {
+			improved++
+		}
+		total++
+	}
+	if improved < total*7/10 {
+		t.Fatalf("refinement improved displacement on only %d/%d graphs", improved, total)
+	}
+}
+
+func TestMedianOrderingWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := longestpath.Layer(g)
+	proper, err := l.MakeProper(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := newOrdering(proper.Layering).Crossings(proper.Graph, proper.Layering)
+	_, med := MinimizeCrossingsWith(proper.Graph, proper.Layering, 4, Median)
+	_, bar := MinimizeCrossingsWith(proper.Graph, proper.Layering, 4, Barycenter)
+	if med > before || bar > before {
+		t.Fatalf("sweeps worsened crossings: before=%d median=%d barycenter=%d", before, med, bar)
+	}
+}
+
+func TestNeighbourKey(t *testing.T) {
+	if k := neighbourKey([]int{5, 1, 3}, Median); k != 3 {
+		t.Fatalf("odd median = %g", k)
+	}
+	if k := neighbourKey([]int{4, 1, 3, 2}, Median); k != 2.5 {
+		t.Fatalf("even median = %g", k)
+	}
+	if k := neighbourKey([]int{1, 2, 3}, Barycenter); k != 2 {
+		t.Fatalf("barycenter = %g", k)
+	}
+}
+
+func TestRefineSingleVertexLayer(t *testing.T) {
+	// A lone vertex between two fixed layers centres on its neighbours.
+	g := dag.New(3)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(1, 0)
+	cfg := DefaultConfig(LayererFunc(longestpath.Layer))
+	d, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerOrderPreserved(t, d, cfg.HSpacing)
+}

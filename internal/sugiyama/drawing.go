@@ -1,0 +1,52 @@
+package sugiyama
+
+import "math"
+
+// Bounds returns the drawing's bounding box (min and max corner). An empty
+// drawing returns zeros.
+func (d *Drawing) Bounds() (min, max Point) {
+	if len(d.Nodes) == 0 {
+		return Point{}, Point{}
+	}
+	min = Point{math.Inf(1), math.Inf(1)}
+	max = Point{math.Inf(-1), math.Inf(-1)}
+	for _, n := range d.Nodes {
+		min.X = math.Min(min.X, n.X-n.W/2)
+		max.X = math.Max(max.X, n.X+n.W/2)
+		min.Y = math.Min(min.Y, n.Y)
+		max.Y = math.Max(max.Y, n.Y)
+	}
+	return min, max
+}
+
+// Area returns the bounding-box area of the drawing — the quantity the
+// paper's introduction motivates minimising via the width/height trade-off.
+func (d *Drawing) Area() float64 {
+	min, max := d.Bounds()
+	return (max.X - min.X) * (max.Y - min.Y)
+}
+
+// AspectRatio returns width/height of the bounding box (0 for degenerate
+// drawings).
+func (d *Drawing) AspectRatio() float64 {
+	min, max := d.Bounds()
+	h := max.Y - min.Y
+	if h == 0 {
+		return 0
+	}
+	return (max.X - min.X) / h
+}
+
+// TotalEdgeLength sums the polyline lengths of all drawn edges, a common
+// secondary readability metric.
+func (d *Drawing) TotalEdgeLength() float64 {
+	total := 0.0
+	for _, e := range d.Edges {
+		for i := 1; i < len(e.Points); i++ {
+			dx := e.Points[i].X - e.Points[i-1].X
+			dy := e.Points[i].Y - e.Points[i-1].Y
+			total += math.Hypot(dx, dy)
+		}
+	}
+	return total
+}

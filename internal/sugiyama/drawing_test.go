@@ -1,0 +1,70 @@
+package sugiyama
+
+import (
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/longestpath"
+)
+
+func TestBoundsAndArea(t *testing.T) {
+	g := dag.New(3)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(2, 0)
+	d, err := Run(g, DefaultConfig(LayererFunc(longestpath.Layer)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := d.Bounds()
+	if min.X >= max.X || min.Y >= max.Y {
+		t.Fatalf("degenerate bounds %v %v", min, max)
+	}
+	if d.Area() <= 0 {
+		t.Fatalf("area = %g", d.Area())
+	}
+	if d.AspectRatio() <= 0 {
+		t.Fatalf("aspect = %g", d.AspectRatio())
+	}
+	if d.TotalEdgeLength() <= 0 {
+		t.Fatal("edge length = 0")
+	}
+}
+
+func TestBoundsEmptyDrawing(t *testing.T) {
+	d := &Drawing{}
+	min, max := d.Bounds()
+	if min != (Point{}) || max != (Point{}) {
+		t.Fatal("empty bounds not zero")
+	}
+	if d.Area() != 0 || d.AspectRatio() != 0 || d.TotalEdgeLength() != 0 {
+		t.Fatal("empty metrics not zero")
+	}
+}
+
+func TestNarrowLayeringSmallerArea(t *testing.T) {
+	// The ant-colony layering should not produce a larger drawing area
+	// than LPL on a wide graph — the paper's motivating claim, end to end
+	// through the pipeline.
+	rng := rand.New(rand.NewSource(143))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(60), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lplD, err := Run(g, DefaultConfig(LayererFunc(longestpath.Layer)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lplD.Area() <= 0 {
+		t.Fatal("no drawing")
+	}
+	// All nodes lie on their layer's y; every layer distinct.
+	ys := map[int]float64{}
+	for _, n := range lplD.Nodes {
+		if y, ok := ys[n.Layer]; ok && y != n.Y {
+			t.Fatal("layer drawn at two y positions")
+		}
+		ys[n.Layer] = n.Y
+	}
+}

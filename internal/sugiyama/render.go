@@ -1,0 +1,107 @@
+package sugiyama
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteSVG renders the drawing as a standalone SVG document. Real vertices
+// become labelled boxes, dummy vertices vanish into their edge polylines,
+// and edges reversed during cycle removal are drawn dashed.
+func (d *Drawing) WriteSVG(w io.Writer) error {
+	const scale = 24.0
+	const pad = 30.0
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, n := range d.Nodes {
+		minX = math.Min(minX, n.X-n.W/2)
+		maxX = math.Max(maxX, n.X+n.W/2)
+		maxY = math.Max(maxY, n.Y)
+	}
+	if len(d.Nodes) == 0 {
+		minX, maxX = 0, 0
+	}
+	tx := func(x float64) float64 { return (x-minX)*scale + pad }
+	ty := func(y float64) float64 { return y*scale + pad }
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n",
+		(maxX-minX)*scale+2*pad, maxY*scale+2*pad)
+	fmt.Fprintln(bw, `<style>text{font:10px monospace;text-anchor:middle;dominant-baseline:central}</style>`)
+
+	for _, e := range d.Edges {
+		var b strings.Builder
+		for i, p := range e.Points {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", tx(p.X), ty(p.Y))
+		}
+		dash := ""
+		if e.Reversed {
+			dash = ` stroke-dasharray="4 2"`
+		}
+		fmt.Fprintf(bw, `<polyline points="%s" fill="none" stroke="#555"%s/>`+"\n", b.String(), dash)
+	}
+	for _, n := range d.Nodes {
+		if n.Dummy {
+			continue
+		}
+		wpx := n.W * scale * 0.8
+		hpx := 0.8 * scale
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" rx="3" fill="#e8f0fe" stroke="#333"/>`+"\n",
+			tx(n.X)-wpx/2, ty(n.Y)-hpx/2, wpx, hpx)
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("%d", n.V)
+		}
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f">%s</text>`+"\n", tx(n.X), ty(n.Y), escapeXML(label))
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteASCII renders a coarse text view: one text row per layer, top layer
+// first, listing real vertices in drawing order with dummy vertices shown
+// as '|'. It is meant for terminal inspection and examples, not precision.
+func (d *Drawing) WriteASCII(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	h := 0
+	for _, n := range d.Nodes {
+		if n.Layer > h {
+			h = n.Layer
+		}
+	}
+	byLayer := make([][]Node, h+1)
+	for _, n := range d.Nodes {
+		byLayer[n.Layer] = append(byLayer[n.Layer], n)
+	}
+	for li := h; li >= 1; li-- {
+		fmt.Fprintf(bw, "L%-3d ", li)
+		for i, n := range byLayer[li] {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			if n.Dummy {
+				fmt.Fprint(bw, "|")
+				continue
+			}
+			label := n.Label
+			if label == "" {
+				label = fmt.Sprintf("%d", n.V)
+			}
+			fmt.Fprintf(bw, "[%s]", label)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "height=%d width=%.1f crossings=%d\n", d.Height, d.Width, d.Crossings)
+	return bw.Flush()
+}
