@@ -64,7 +64,11 @@ const (
 func NewGraph(n int) *Graph { return dag.New(n) }
 
 // DefaultACOParams returns the parameters of the paper's main experiments
-// (10 tours, alpha=1, beta=3, unit dummy width, argmax selection).
+// (10 tours, alpha=1, beta=3, unit dummy width, argmax selection). The
+// Workers field is 0, so tour construction runs on one goroutine per CPU;
+// set Workers to 1 for a sequential colony. Either way the result is a
+// pure function of the parameters: the same Seed yields the same layering
+// at any worker count (see README.md "Parallelism").
 func DefaultACOParams() ACOParams { return core.DefaultParams() }
 
 // Layerer is a layering algorithm. All constructors below return one.

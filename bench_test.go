@@ -22,9 +22,12 @@ import (
 
 // benchOptions is the corpus configuration shared by the figure benches:
 // a 3-graph sample per group keeps one bench iteration around a second
-// while preserving the figures' qualitative shape.
+// while preserving the figures' qualitative shape. The colony runs
+// sequentially so the Millis series stays per-call sequential cost;
+// BenchmarkAntColonyWorkers* covers the parallel colony.
 func benchOptions() experiments.Options {
 	opts := experiments.Options{Seed: 7, PerGroup: 3, DummyWidth: 1, ACO: core.DefaultParams()}
+	opts.ACO.Workers = 1
 	return opts
 }
 
@@ -114,7 +117,11 @@ func BenchmarkFig8RunningTime(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("AntColony/n=%d", n), func(b *testing.B) {
-			l := AntColony(DefaultACOParams())
+			// Sequential colony: the figure compares per-call sequential
+			// cost against LPL; BenchmarkAntColonyWorkers* covers the pool.
+			p := DefaultACOParams()
+			p.Workers = 1
+			l := AntColony(p)
 			for i := 0; i < b.N; i++ {
 				if _, err := l.Layer(g); err != nil {
 					b.Fatal(err)
@@ -283,6 +290,34 @@ func BenchmarkOptimalityGap(b *testing.B) {
 		b.ReportMetric(r.Mean*100, "gapPct_"+sanitize(r.Name))
 	}
 }
+
+// benchmarkAntColonyWorkers is the shared body of the worker-scaling
+// benchmarks: one colony run on a fixed 200-vertex graph with a colony
+// large enough (32 ants) to keep every worker busy. The layering produced
+// is identical across the three benchmarks — only the wall clock moves —
+// so comparing BenchmarkAntColonyWorkers{1,4,8} ns/op isolates the
+// speedup of parallel tour construction.
+func benchmarkAntColonyWorkers(b *testing.B, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(200))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(200), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultACOParams()
+	p.Ants = 32
+	p.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AntColonyRun(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAntColonyWorkers1(b *testing.B) { benchmarkAntColonyWorkers(b, 1) }
+func BenchmarkAntColonyWorkers4(b *testing.B) { benchmarkAntColonyWorkers(b, 4) }
+func BenchmarkAntColonyWorkers8(b *testing.B) { benchmarkAntColonyWorkers(b, 8) }
 
 // BenchmarkColonyScaling measures one colony run across graph sizes and
 // worker counts (the repository's parallel-execution extension).

@@ -6,7 +6,7 @@
 //
 //	daglayer -algo aco [-in graph.dot] [-promote] [-svg out.svg] [-ascii]
 //	         [-dummy-width 1.0] [-ants 10] [-tours 10] [-alpha 1] [-beta 3]
-//	         [-seed 1] [-cg-width 4]
+//	         [-seed 1] [-workers 0] [-cg-width 4]
 //
 // Algorithms: aco (default), lpl, minwidth, cg (Coffman–Graham), ns
 // (network simplex).
@@ -30,10 +30,11 @@ func main() {
 }
 
 // buildACO assembles colony parameters from the CLI flags.
-func buildACO(ants, tours int, alpha, beta, dummyWidth float64, seed int64) antlayer.ACOParams {
+func buildACO(ants, tours, workers int, alpha, beta, dummyWidth float64, seed int64) antlayer.ACOParams {
 	p := antlayer.DefaultACOParams()
 	p.Ants = ants
 	p.Tours = tours
+	p.Workers = workers
 	p.Alpha = alpha
 	p.Beta = beta
 	p.DummyWidth = dummyWidth
@@ -86,6 +87,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		alpha      = fs.Float64("alpha", 1, "aco: pheromone exponent")
 		beta       = fs.Float64("beta", 3, "aco: heuristic exponent")
 		seed       = fs.Int64("seed", 1, "aco: random seed")
+		workers    = fs.Int("workers", 0, "aco: goroutines per tour (0 = all CPUs; same seed gives the same layering at any value)")
 		cgWidth    = fs.Int("cg-width", 4, "cg: maximum real vertices per layer")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,13 +122,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *compare {
-		return runComparison(stdout, g, *dummyWidth, *cgWidth, buildACO(*ants, *tours, *alpha, *beta, *dummyWidth, *seed))
+		return runComparison(stdout, g, *dummyWidth, *cgWidth, buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
 	}
 
 	var layerer antlayer.Layerer
 	switch *algo {
 	case "aco":
-		layerer = antlayer.AntColony(buildACO(*ants, *tours, *alpha, *beta, *dummyWidth, *seed))
+		layerer = antlayer.AntColony(buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
 	case "lpl":
 		layerer = antlayer.LongestPath()
 	case "minwidth":

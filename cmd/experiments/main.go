@@ -13,7 +13,10 @@
 //	experiments -shapes              # qualitative checks vs the paper
 //
 // Common flags: -seed, -per-group (sample size per corpus group; 0 = the
-// full 1277-graph corpus), -ants, -tours.
+// full 1277-graph corpus), -ants, -tours. Parallelism: -workers evaluates
+// whole graphs concurrently, -aco-workers parallelises tour construction
+// inside each colony run (both deterministic; keep both at 1 for the
+// timing series, see EXPERIMENTS.md).
 package main
 
 import (
@@ -63,6 +66,7 @@ func run(args []string, w io.Writer) error {
 		ants     = fs.Int("ants", 10, "colony size")
 		tours    = fs.Int("tours", 10, "tours per colony run")
 		workers  = fs.Int("workers", 1, "parallel graph evaluations (timing series need 1)")
+		acoWork  = fs.Int("aco-workers", 1, "goroutines per colony tour (0 = all CPUs; layerings are seed-deterministic at any value, timing series need 1)")
 		family   = fs.String("family", "sparse", "corpus family: sparse|trees|layered|dense")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +79,7 @@ func run(args []string, w io.Writer) error {
 	opts := experiments.Options{Seed: *seed, PerGroup: *perGroup, DummyWidth: 1, ACO: core.DefaultParams(), Workers: *workers, Family: fam}
 	opts.ACO.Ants = *ants
 	opts.ACO.Tours = *tours
+	opts.ACO.Workers = *acoWork
 
 	if !*all && *fig == 0 && *tuning == "" && !*ablation && !*shapes && !*extras && !*gap {
 		fs.Usage()

@@ -32,6 +32,16 @@
 //	if err != nil { ... }
 //	fmt.Println(l.Height(), l.WidthIncludingDummies(1.0))
 //
-// See examples/ for runnable programs and DESIGN.md for the system
-// inventory and per-experiment index.
+// # Parallelism
+//
+// Ant tours are constructed on a goroutine worker pool sized by
+// ACOParams.Workers (0 = one per CPU). The result is deterministic for a
+// fixed Seed at any worker count: per-ant RNGs are derived independently
+// from (Seed, tour, ant index), and pheromone updates happen between
+// tours, never during one. See README.md ("Parallelism") for the full
+// guarantee.
+//
+// See examples/ for runnable programs, README.md for a feature matrix of
+// the six layerers, and DESIGN.md for the system inventory and
+// per-experiment index.
 package antlayer

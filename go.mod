@@ -1,0 +1,3 @@
+module antlayer
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"antlayer/internal/dag"
@@ -113,7 +114,6 @@ func (c *Colony) Run() (*Result, error) {
 	if n == 0 {
 		return &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}, nil
 	}
-	master := c.p.rng()
 
 	// The stretched LPL seed is the incumbent solution: a tour whose ants
 	// all explore uphill cannot make the final result worse than the
@@ -127,7 +127,7 @@ func (c *Colony) Run() (*Result, error) {
 	stagnant := 0
 
 	for t := 1; t <= c.p.Tours; t++ {
-		ants := c.runTour(master)
+		ants := c.runTour(t)
 
 		// The tour's best ant: highest objective, ties to the lowest index
 		// so the outcome does not depend on scheduling.
@@ -187,25 +187,41 @@ func (c *Colony) Run() (*Result, error) {
 	return res, nil
 }
 
-// runTour evaluates the whole colony against the current base layering.
-// Ant seeds are drawn from the master source up front so the result is
-// independent of goroutine scheduling.
-func (c *Colony) runTour(master interface{ Int63() int64 }) []*ant {
-	ants := make([]*ant, c.p.Ants)
-	seeds := make([]int64, c.p.Ants)
-	for i := range seeds {
-		seeds[i] = master.Int63()
+// workers resolves Params.Workers to the pool size actually used for one
+// tour: 0 means one goroutine per available CPU (GOMAXPROCS), anything
+// else is taken literally, and the pool never exceeds the colony size.
+func (c *Colony) workers() int {
+	w := c.p.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	workers := c.p.Workers
-	if workers <= 1 || c.p.Ants == 1 {
+	if w > c.p.Ants {
+		w = c.p.Ants
+	}
+	return w
+}
+
+// runTour evaluates the whole colony against the current base layering,
+// fanning the ants of tour t out over the worker pool.
+//
+// Tour construction is embarrassingly parallel: during a tour the
+// pheromone matrix is an immutable snapshot (evaporation and the best
+// ant's deposit happen in Run, strictly after the pool's barrier), the
+// base layering is only read, and each ant owns its assignment copy, its
+// scratch buffers and its RNG. Each ant's seed is derived from the master
+// seed and the ant's (tour, index) coordinates — see antSeed — so the
+// layering constructed by ant i of tour t is a pure function of Params and
+// the base layering, and the tour's outcome is bitwise-identical at any
+// worker count and under any goroutine schedule.
+func (c *Colony) runTour(t int) []*ant {
+	ants := make([]*ant, c.p.Ants)
+	workers := c.workers()
+	if workers <= 1 {
 		for i := range ants {
-			ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, seeds[i])
+			ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, antSeed(c.p.Seed, t, i))
 			ants[i].walk()
 		}
 		return ants
-	}
-	if workers > c.p.Ants {
-		workers = c.p.Ants
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -214,7 +230,7 @@ func (c *Colony) runTour(master interface{ Int63() int64 }) []*ant {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, seeds[i])
+				ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, antSeed(c.p.Seed, t, i))
 				ants[i].walk()
 			}
 		}()

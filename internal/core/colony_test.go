@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"antlayer/internal/dag"
@@ -75,6 +77,7 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	}
 	seq := DefaultParams()
 	seq.Seed = 7
+	seq.Workers = 1
 	par := seq
 	par.Workers = 4
 	a, err := Run(g, seq)
@@ -88,6 +91,94 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	for v := 0; v < g.N(); v++ {
 		if a.Layering.Layer(v) != b.Layering.Layer(v) {
 			t.Fatal("parallel run diverged from sequential")
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the contract of Params.Workers: the
+// full result — layering, objective, best tour and the complete per-tour
+// history — is bitwise-identical at any worker count, including the
+// GOMAXPROCS default (Workers=0).
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(60), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultParams()
+	base.Seed = 424242
+	base.Workers = 1
+	want, err := Run(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		p := base
+		p.Workers = workers
+		got, err := Run(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if got.Layering.Layer(v) != want.Layering.Layer(v) {
+				t.Fatalf("Workers=%d: layer of v%d = %d, want %d",
+					workers, v, got.Layering.Layer(v), want.Layering.Layer(v))
+			}
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("Workers=%d: objective %g, want %g", workers, got.Objective, want.Objective)
+		}
+		if got.BestTour != want.BestTour {
+			t.Fatalf("Workers=%d: best tour %d, want %d", workers, got.BestTour, want.BestTour)
+		}
+		if len(got.History) != len(want.History) {
+			t.Fatalf("Workers=%d: history length %d, want %d", workers, len(got.History), len(want.History))
+		}
+		for i := range want.History {
+			if got.History[i] != want.History[i] {
+				t.Fatalf("Workers=%d: tour %d stats %+v, want %+v",
+					workers, i+1, got.History[i], want.History[i])
+			}
+		}
+	}
+}
+
+// TestRunConcurrentColonies exercises the worker pool from several
+// concurrent colony runs at once; under `go test -race` this is the data
+// race check for the shared pheromone snapshot and the base layering.
+func TestRunConcurrentColonies(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Seed = 5
+	p.Workers = 8
+	want, err := Run(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(g, p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Objective != want.Objective {
+				errs[i] = fmt.Errorf("concurrent run objective %g, want %g", res.Objective, want.Objective)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // SelectionMode chooses how an ant picks a layer from the probabilities of
@@ -169,12 +168,16 @@ type Params struct {
 	// adaptive stopping rule suggested by the paper's conclusion for
 	// taming the colony's running time. Zero runs all Tours.
 	StopAfterStagnantTours int
-	// Workers bounds the goroutines evaluating ants of one tour
-	// concurrently. Zero or one runs the colony sequentially; results are
-	// deterministic for a fixed Seed regardless of Workers.
+	// Workers is the number of goroutines constructing ant tours
+	// concurrently within a tour. Zero (the default) uses one worker per
+	// available CPU (GOMAXPROCS); one runs the colony sequentially. The
+	// result is bitwise-identical for a fixed Seed at any Workers value:
+	// every ant's RNG is derived independently from (Seed, tour, ant
+	// index), the pheromone matrix is frozen while a tour's ants walk,
+	// and evaporation/deposit are applied after the pool's barrier.
 	Workers int
-	// Seed seeds the master random source. Runs with equal Params are
-	// reproducible.
+	// Seed seeds the run: all ant RNGs are derived from it. Runs with
+	// equal Params are reproducible.
 	Seed int64
 }
 
@@ -239,9 +242,4 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: Workers must be >= 0, got %d", p.Workers)
 	}
 	return nil
-}
-
-// rng returns the master random source for the run.
-func (p Params) rng() *rand.Rand {
-	return rand.New(rand.NewSource(p.Seed))
 }

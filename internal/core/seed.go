@@ -1,0 +1,38 @@
+package core
+
+// Deterministic per-ant seed derivation.
+//
+// Every ant owns an independent rand.Rand whose seed is a pure function of
+// (master seed, tour number, ant index). Because no RNG stream is shared
+// between ants — or between the colony and its ants — the layering an ant
+// constructs depends only on those three values, never on which goroutine
+// ran it or in what order the worker pool scheduled the colony. That is
+// what makes a parallel run bitwise-identical to a sequential one at any
+// Workers setting, and it also keeps early stopping seed-stable: skipping
+// the tail of a run cannot shift the seeds of the tours that did execute.
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea, Flood: "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014): a bijective 64-bit mixer
+// with full avalanche, so inputs differing in a single bit map to
+// statistically independent outputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// antSeed derives the RNG seed of ant `ant` (0-based) in tour `tour`
+// (1-based) of a run whose master seed is `master`. Each coordinate is
+// spread over all 64 bits by a large odd multiplier before being absorbed,
+// with a full mix between absorptions, so small (tour, ant) indices cannot
+// cancel against each other and every pair receives an unrelated seed.
+//
+// The result is masked to 63 bits: rand.NewSource folds negative seeds
+// through a Mersenne-prime reduction, and keeping the value non-negative
+// sidesteps that sign-dependent aliasing.
+func antSeed(master int64, tour, ant int) int64 {
+	z := uint64(master)
+	z = mix64(z ^ 0xA24BAED4963EE407*uint64(tour+1))
+	z = mix64(z ^ 0x9FB21C651E98DF25*uint64(ant+1))
+	return int64(z & (1<<63 - 1))
+}

@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func TestAntSeedDeterministic(t *testing.T) {
+	if antSeed(1, 1, 0) != antSeed(1, 1, 0) {
+		t.Fatal("antSeed is not a pure function")
+	}
+}
+
+func TestAntSeedNonNegative(t *testing.T) {
+	for _, master := range []int64{0, 1, -1, 1 << 62, -(1 << 62)} {
+		for tour := 1; tour <= 3; tour++ {
+			for ant := 0; ant < 3; ant++ {
+				if s := antSeed(master, tour, ant); s < 0 {
+					t.Fatalf("antSeed(%d, %d, %d) = %d, want >= 0", master, tour, ant, s)
+				}
+			}
+		}
+	}
+}
+
+// TestAntSeedDistinct checks that seeds collide for no (tour, ant) pair in
+// a realistically sized run, and that changing the master seed reshuffles
+// every one of them.
+func TestAntSeedDistinct(t *testing.T) {
+	const tours, ants = 100, 64
+	seen := make(map[int64][2]int, tours*ants)
+	for tour := 1; tour <= tours; tour++ {
+		for ant := 0; ant < ants; ant++ {
+			s := antSeed(7, tour, ant)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (tour=%d, ant=%d) and (tour=%d, ant=%d) both map to %d",
+					tour, ant, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int{tour, ant}
+		}
+	}
+	for tour := 1; tour <= tours; tour++ {
+		for ant := 0; ant < ants; ant++ {
+			if _, dup := seen[antSeed(8, tour, ant)]; dup {
+				t.Fatalf("master seeds 7 and 8 share a seed at (tour=%d, ant=%d)", tour, ant)
+			}
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit must flip roughly half the output bits; 16-48
+	// of 64 is a loose band that any full-avalanche mixer clears easily.
+	for bit := 0; bit < 64; bit++ {
+		diff := mix64(12345) ^ mix64(12345^(1<<bit))
+		pop := 0
+		for d := diff; d != 0; d &= d - 1 {
+			pop++
+		}
+		if pop < 16 || pop > 48 {
+			t.Fatalf("bit %d: popcount(diff) = %d, outside [16, 48]", bit, pop)
+		}
+	}
+}

@@ -22,11 +22,12 @@ func layeringFrom(g *dag.Graph, assign []int) *layering.Layering {
 }
 
 // tinyOptions keeps experiment tests fast: a 2-graph sample per group and a
-// small colony.
+// small colony, sequential so timing-based assertions measure per-call cost.
 func tinyOptions() Options {
 	opts := Options{Seed: 7, PerGroup: 2, DummyWidth: 1, ACO: core.DefaultParams()}
 	opts.ACO.Ants = 4
 	opts.ACO.Tours = 4
+	opts.ACO.Workers = 1
 	return opts
 }
 
@@ -98,7 +99,10 @@ func TestFigures(t *testing.T) {
 func TestShapeChecksPass(t *testing.T) {
 	// The qualitative relationships the paper reports must hold on the
 	// synthetic corpus with a modest sample.
+	// Sequential colony: the "faster than AntColony" timing checks compare
+	// per-call wall clock and must not race a GOMAXPROCS pool.
 	opts := Options{Seed: 7, PerGroup: 4, DummyWidth: 1, ACO: core.DefaultParams()}
+	opts.ACO.Workers = 1
 	res, err := Run(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -39,6 +39,9 @@ func GapStudy(n, instances int, seed int64) ([]GapResult, error) {
 		run  func(g *dag.Graph) (*layering.Layering, error)
 	}
 	acoParams := core.DefaultParams()
+	// The gap graphs are tiny (n <= exact.MaxVertices); a per-tour worker
+	// pool costs more in scheduling than the walks it would parallelise.
+	acoParams.Workers = 1
 	heuristics := []heuristic{
 		{NameLPL, func(g *dag.Graph) (*layering.Layering, error) { return longestpath.Layer(g) }},
 		{NameLPLPL, func(g *dag.Graph) (*layering.Layering, error) {

@@ -14,6 +14,7 @@ func microOptions() Options {
 	opts := Options{Seed: 7, PerGroup: 1, DummyWidth: 1, ACO: core.DefaultParams()}
 	opts.ACO.Ants = 3
 	opts.ACO.Tours = 3
+	opts.ACO.Workers = 1
 	return opts
 }
 
