@@ -342,8 +342,10 @@ func BenchmarkColonyScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkAntWalk isolates one ant's solution construction, the inner
-// loop of the whole system.
+// BenchmarkAntWalk isolates one ant's solution construction through the
+// public API (colony setup included); BenchmarkWalk/BenchmarkChooseLayer
+// in internal/core measure the walk and the per-vertex decision alone,
+// with allocation counts.
 func BenchmarkAntWalk(b *testing.B) {
 	for _, n := range []int{50, 100} {
 		rng := rand.New(rand.NewSource(int64(n)))

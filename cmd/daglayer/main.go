@@ -112,7 +112,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "edges":
 		g, err = dot.ReadEdgeList(r)
 		if err == nil {
+			// Edge lists carry no names; synthesise v<N> (the same
+			// fallback dot.Write uses) and set them as labels so the SVG,
+			// rank-dot and ASCII outputs render labelled vertices too.
 			names = make([]string, g.N())
+			for v := range names {
+				names[v] = fmt.Sprintf("v%d", v)
+				g.SetLabel(v, names[v])
+			}
 		}
 	default:
 		return fmt.Errorf("unknown input format %q (want dot|edges)", *format)

@@ -27,6 +27,38 @@ func TestRunEdgeListFormat(t *testing.T) {
 	}
 }
 
+func TestRunEdgeListNamesDrawings(t *testing.T) {
+	// Edge-list inputs have no node names; the CLI must fall back to v<N>
+	// so the layer listing, the SVG and the rank-dot output all render
+	// labelled vertices instead of empty strings.
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "out.svg")
+	rank := filepath.Join(dir, "rank.dot")
+	var out bytes.Buffer
+	err := run([]string{"-format", "edges", "-algo", "lpl", "-svg", svg, "-rank-dot", rank, "-ascii"},
+		strings.NewReader("3 2\n2 1\n1 0\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "v2") {
+		t.Fatalf("layer listing missing v2:\n%s", out.String())
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ">v0<") {
+		t.Fatalf("SVG missing v0 label:\n%s", data)
+	}
+	rankData, err := os.ReadFile(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rankData), "v1 -> v0") {
+		t.Fatalf("rank-dot missing named edge:\n%s", rankData)
+	}
+}
+
 func TestRunFromStdin(t *testing.T) {
 	for _, algo := range []string{"aco", "lpl", "minwidth", "cg", "ns"} {
 		var out bytes.Buffer

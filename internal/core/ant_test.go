@@ -31,8 +31,20 @@ func testAnt(t *testing.T, g *dag.Graph, p Params, seed int64) *ant {
 			tau[v][i] = p.Tau0
 		}
 	}
+	// newAnt takes τ^α; raise the rows like Colony.powTauSnapshot does so
+	// the helper stays valid for α ≠ 1 too.
+	powTau := tau
+	if p.Alpha != 1 {
+		powTau = make([][]float64, len(tau))
+		for v, row := range tau {
+			powTau[v] = make([]float64, len(row))
+			for i, tv := range row {
+				powTau[v][i] = math.Pow(tv, p.Alpha)
+			}
+		}
+	}
 	assign := s.Assignment()
-	return newAnt(g, &p, tau, L, assign, layerWidths(g, assign, L, p.DummyWidth), seed)
+	return newAnt(g, &p, powTau, L, assign, layerWidths(g, assign, L, p.DummyWidth), seed)
 }
 
 // exactHW computes the normalization-aware H+W of an ant's state from
@@ -169,10 +181,13 @@ func TestDeltaRangeExact(t *testing.T) {
 				t.Fatalf("delta(%d->%d) = %g, exact = %g", saveAssign[v], l, pure, after-before)
 			}
 
+			// Restore the pre-move state directly (bypassing move), so the
+			// incrementally maintained width maxima must be rebuilt.
 			a.assign = saveAssign
 			a.widths = saveWidths
 			a.occ = saveOcc
 			a.h = saveH
+			a.rebuildMaxima()
 		}
 	}
 }
@@ -252,6 +267,68 @@ func TestSpanRespectsNeighbours(t *testing.T) {
 		}
 		if lo < 1 || hi > a.L {
 			t.Fatalf("span [%d,%d] outside [1,%d]", lo, hi, a.L)
+		}
+	}
+}
+
+func TestRouletteSurvivesScoreOverflow(t *testing.T) {
+	// With extreme pheromone/α the individual scores τ^α·η^β can stay
+	// finite while their sum overflows to +Inf. rouletteLayer must then
+	// rescale and keep sampling — degrading to argmax would silently
+	// change the selection mode for the whole span (and make α/β
+	// effectively infinite). Three isolated vertices, three layers:
+	// vertex 0 sits on layer 1, layers 2 and 3 are empty and tie on η.
+	p := DefaultParams()
+	p.Selection = SelectRoulette
+	p.Heuristic = HeuristicLayerWidth
+	p.MaxLayers = 3
+	a := testAnt(t, dag.New(3), p, 1)
+	for i := range a.powTau[0] {
+		a.powTau[0][i] = 1e308 // finite, but any two sum to +Inf
+	}
+	seen := map[int]bool{}
+	for trial := 0; trial < 200; trial++ {
+		a.rng.Seed(int64(trial))
+		seen[a.rouletteLayer(0, 1, 3, a.etaRange(0, 1, 3))] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("roulette degraded to a deterministic choice under overflow: saw %v", seen)
+	}
+
+	// An individually infinite score is genuinely degenerate: rescaling
+	// cannot recover a distribution, so the argmax fallback must remain.
+	a.powTau[0][1] = math.Inf(1)
+	for trial := 0; trial < 50; trial++ {
+		a.rng.Seed(int64(trial))
+		if got := a.rouletteLayer(0, 1, 3, a.etaRange(0, 1, 3)); got != 2 {
+			t.Fatalf("infinite score: picked layer %d, want argmax layer 2", got)
+		}
+	}
+}
+
+func TestWalkAllocationFree(t *testing.T) {
+	// The reset+walk cycle — everything a tour does per ant — must not
+	// touch the heap: the scratch buffers, the permutation and the width
+	// maxima are all preallocated and reused.
+	rng := rand.New(rand.NewSource(85))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []SelectionMode{SelectPseudoRandom, SelectArgMax, SelectRoulette} {
+		p := DefaultParams()
+		p.Selection = sel
+		a := testAnt(t, g, p, 1)
+		baseAssign := append([]int(nil), a.assign...)
+		baseWidths := append([]float64(nil), a.widths...)
+		seed := int64(0)
+		allocs := testing.AllocsPerRun(20, func() {
+			seed++
+			a.reset(baseAssign, baseWidths, a.powTau, seed)
+			a.walk()
+		})
+		if allocs > 0 {
+			t.Errorf("%v: reset+walk allocates %.1f times per run, want 0", sel, allocs)
 		}
 	}
 }

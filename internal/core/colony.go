@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -53,6 +54,9 @@ type Colony struct {
 
 	baseAssign []int     // layering inherited by the next tour
 	baseWidths []float64 // its layer widths
+
+	ants   []*ant      // reused across tours; allocated on the first tour
+	powTau [][]float64 // scratch for the per-tour τ^α snapshot (α ≠ 1 only)
 }
 
 // NewColony validates the parameters and runs the initialisation phase
@@ -120,6 +124,8 @@ func (c *Colony) Run() (*Result, error) {
 	// layering the colony started from. BestTour stays 0 when no walk
 	// beats the seed.
 	res := &Result{}
+	// The seed ant never walks or scores candidates, so the raw pheromone
+	// matrix stands in for the τ^α snapshot its constructor asks for.
 	seed := newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, 0)
 	seed.scoreWalk()
 	bestObjective := seed.objective
@@ -201,8 +207,34 @@ func (c *Colony) workers() int {
 	return w
 }
 
+// powTauSnapshot returns the τ^α matrix ants score against during one
+// tour. With α = 1 (the default) it is the pheromone matrix itself
+// (x^1 = x exactly); otherwise the colony-owned scratch matrix is
+// refreshed, so math.Pow runs once per (vertex, layer) per tour instead of
+// once per candidate evaluation.
+func (c *Colony) powTauSnapshot() [][]float64 {
+	if c.p.Alpha == 1 {
+		return c.tau
+	}
+	if c.powTau == nil {
+		c.powTau = make([][]float64, len(c.tau))
+		for v := range c.powTau {
+			c.powTau[v] = make([]float64, c.L)
+		}
+	}
+	for v, row := range c.tau {
+		dst := c.powTau[v]
+		for i, tau := range row {
+			dst[i] = math.Pow(tau, c.p.Alpha)
+		}
+	}
+	return c.powTau
+}
+
 // runTour evaluates the whole colony against the current base layering,
-// fanning the ants of tour t out over the worker pool.
+// fanning the ants of tour t out over the worker pool. The ant objects are
+// allocated once and reset for every tour, so a tour performs no heap
+// allocation beyond the first.
 //
 // Tour construction is embarrassingly parallel: during a tour the
 // pheromone matrix is an immutable snapshot (evaporation and the best
@@ -214,12 +246,28 @@ func (c *Colony) workers() int {
 // the base layering, and the tour's outcome is bitwise-identical at any
 // worker count and under any goroutine schedule.
 func (c *Colony) runTour(t int) []*ant {
-	ants := make([]*ant, c.p.Ants)
+	powTau := c.powTauSnapshot()
+	if c.ants == nil {
+		c.ants = make([]*ant, c.p.Ants)
+	}
+	ants := c.ants
+	// walkAnt prepares ant i for tour t — allocating it on the first tour
+	// (newAnt resets internally), resetting it afterwards — and walks it.
+	// Each index is handled by exactly one worker, so lazy construction
+	// needs no synchronisation.
+	walkAnt := func(i int) {
+		seed := antSeed(c.p.Seed, t, i)
+		if ants[i] == nil {
+			ants[i] = newAnt(c.g, &c.p, powTau, c.L, c.baseAssign, c.baseWidths, seed)
+		} else {
+			ants[i].reset(c.baseAssign, c.baseWidths, powTau, seed)
+		}
+		ants[i].walk()
+	}
 	workers := c.workers()
 	if workers <= 1 {
 		for i := range ants {
-			ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, antSeed(c.p.Seed, t, i))
-			ants[i].walk()
+			walkAnt(i)
 		}
 		return ants
 	}
@@ -230,8 +278,7 @@ func (c *Colony) runTour(t int) []*ant {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				ants[i] = newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, antSeed(c.p.Seed, t, i))
-				ants[i].walk()
+				walkAnt(i)
 			}
 		}()
 	}

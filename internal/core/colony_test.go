@@ -2,12 +2,15 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"antlayer/internal/dag"
 	"antlayer/internal/graphgen"
+	"antlayer/internal/layering"
 	"antlayer/internal/longestpath"
 )
 
@@ -98,26 +101,183 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 // TestRunDeterministicAcrossWorkers is the contract of Params.Workers: the
 // full result — layering, objective, best tour and the complete per-tour
 // history — is bitwise-identical at any worker count, including the
-// GOMAXPROCS default (Workers=0).
+// GOMAXPROCS default (Workers=0), for both heuristics and all three
+// selection modes.
+//
+// The expected values are golden: they were captured from the code as of
+// PR 1 (before the allocation-free hot-path rewrite), so they also pin the
+// colony's output bit-for-bit across refactors of the walk internals. The
+// assignment hash is FNV-1a over the decimal layers, matching goldenHash.
+// If an intentional behaviour change invalidates them, re-capture by
+// running each configuration at Workers=1 and printing
+// math.Float64bits(res.Objective), res.BestTour, res.Height,
+// math.Float64bits(res.Width) and goldenHash(res.Layering).
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	g, err := graphgen.Generate(graphgen.DefaultConfig(60), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
+	golden := []struct {
+		heur       HeuristicMode
+		sel        SelectionMode
+		objective  uint64 // math.Float64bits of Result.Objective
+		bestTour   int
+		height     int
+		width      uint64 // math.Float64bits of Result.Width
+		assignHash uint64
+	}{
+		{HeuristicObjective, SelectPseudoRandom, 0x3f9e1e1e1e1e1e1e, 2, 13, 0x4035000000000000, 0xf33279d1c81329bf},
+		{HeuristicObjective, SelectArgMax, 0x3f9d41d41d41d41d, 0, 10, 0x4039000000000000, 0xa6bc5c52b602f6e4},
+		{HeuristicObjective, SelectRoulette, 0x3f9e1e1e1e1e1e1e, 8, 13, 0x4035000000000000, 0x89311749aa853178},
+		{HeuristicLayerWidth, SelectPseudoRandom, 0x3f9d41d41d41d41d, 0, 10, 0x4039000000000000, 0xa6bc5c52b602f6e4},
+		{HeuristicLayerWidth, SelectArgMax, 0x3f9d41d41d41d41d, 0, 10, 0x4039000000000000, 0xa6bc5c52b602f6e4},
+		{HeuristicLayerWidth, SelectRoulette, 0x3f9d41d41d41d41d, 0, 10, 0x4039000000000000, 0xa6bc5c52b602f6e4},
+	}
+	for _, gc := range golden {
+		gc := gc
+		t.Run(fmt.Sprintf("%v/%v", gc.heur, gc.sel), func(t *testing.T) {
+			base := DefaultParams()
+			base.Seed = 424242
+			base.Workers = 1
+			base.Heuristic = gc.heur
+			base.Selection = gc.sel
+			want, err := Run(g, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := math.Float64bits(want.Objective); got != gc.objective {
+				t.Errorf("objective bits 0x%016x, golden 0x%016x (%g)", got, gc.objective, want.Objective)
+			}
+			if want.BestTour != gc.bestTour {
+				t.Errorf("best tour %d, golden %d", want.BestTour, gc.bestTour)
+			}
+			if want.Height != gc.height {
+				t.Errorf("height %d, golden %d", want.Height, gc.height)
+			}
+			if got := math.Float64bits(want.Width); got != gc.width {
+				t.Errorf("width bits 0x%016x, golden 0x%016x (%g)", got, gc.width, want.Width)
+			}
+			if got := goldenHash(want.Layering); got != gc.assignHash {
+				t.Errorf("assignment hash 0x%016x, golden 0x%016x", got, gc.assignHash)
+			}
+			for _, workers := range []int{0, 2, 8} {
+				p := base
+				p.Workers = workers
+				got, err := Run(g, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := 0; v < g.N(); v++ {
+					if got.Layering.Layer(v) != want.Layering.Layer(v) {
+						t.Fatalf("Workers=%d: layer of v%d = %d, want %d",
+							workers, v, got.Layering.Layer(v), want.Layering.Layer(v))
+					}
+				}
+				if got.Objective != want.Objective {
+					t.Fatalf("Workers=%d: objective %g, want %g", workers, got.Objective, want.Objective)
+				}
+				if got.BestTour != want.BestTour {
+					t.Fatalf("Workers=%d: best tour %d, want %d", workers, got.BestTour, want.BestTour)
+				}
+				if len(got.History) != len(want.History) {
+					t.Fatalf("Workers=%d: history length %d, want %d", workers, len(got.History), len(want.History))
+				}
+				for i := range want.History {
+					if got.History[i] != want.History[i] {
+						t.Fatalf("Workers=%d: tour %d stats %+v, want %+v",
+							workers, i+1, got.History[i], want.History[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// goldenHash is FNV-1a over the comma-separated decimal layer assignment,
+// the fingerprint the golden table above was captured with.
+func goldenHash(l *layering.Layering) uint64 {
+	h := fnv.New64a()
+	for v := 0; v < l.Graph().N(); v++ {
+		fmt.Fprintf(h, "%d,", l.Layer(v))
+	}
+	return h.Sum64()
+}
+
+// TestPowTauSnapshotNonUnitAlpha covers the α ≠ 1 branch of
+// powTauSnapshot: the snapshot must hold τ^α for the *current* matrix
+// every time it is taken (it is refreshed per tour, after pheromone
+// updates), and the ant's scoring must read it.
+func TestPowTauSnapshotNonUnitAlpha(t *testing.T) {
+	g := graphgen.Path(4)
+	p := DefaultParams()
+	p.Alpha = 2.5
+	c, err := NewColony(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, row := range c.tau {
+		for i := range row {
+			row[i] = 0.5 + float64(v) + 0.1*float64(i)
+		}
+	}
+	pt := c.powTauSnapshot()
+	for v, row := range c.tau {
+		for i, tau := range row {
+			if want := math.Pow(tau, p.Alpha); pt[v][i] != want {
+				t.Fatalf("snapshot[%d][%d] = %g, want %g", v, i, pt[v][i], want)
+			}
+		}
+	}
+	// A later snapshot must reflect pheromone updates, not the first state.
+	c.evaporate()
+	pt = c.powTauSnapshot()
+	for v, row := range c.tau {
+		for i, tau := range row {
+			if want := math.Pow(tau, p.Alpha); pt[v][i] != want {
+				t.Fatalf("stale snapshot[%d][%d] = %g, want %g", v, i, pt[v][i], want)
+			}
+		}
+	}
+	// And scoring multiplies the snapshot entry by η^β.
+	a := newAnt(g, &c.p, pt, c.L, c.baseAssign, c.baseWidths, 1)
+	eta := 0.7
+	if got, want := a.scoreWith(2, 3, eta), pt[2][2]*math.Pow(eta, p.Beta); got != want {
+		t.Fatalf("scoreWith = %g, want %g", got, want)
+	}
+}
+
+// TestRunDeterministicNonUnitAlpha runs the worker-count determinism
+// contract through the α ≠ 1 snapshot-refresh path and a non-integer β
+// (the math.Pow fallback of powEta), which the golden matrix — pinned at
+// the paper's α = 1, β = 3 — does not reach.
+func TestRunDeterministicNonUnitAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := DefaultParams()
-	base.Seed = 424242
+	base.Seed = 31415
+	base.Alpha = 3
+	base.Beta = 2.5
 	base.Workers = 1
 	want, err := Run(g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{0, 2, 8} {
+	if want.Objective <= 0 || want.Objective > 1 {
+		t.Fatalf("objective = %g", want.Objective)
+	}
+	for _, workers := range []int{0, 8} {
 		p := base
 		p.Workers = workers
 		got, err := Run(g, p)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("Workers=%d: objective %g, want %g", workers, got.Objective, want.Objective)
 		}
 		for v := 0; v < g.N(); v++ {
 			if got.Layering.Layer(v) != want.Layering.Layer(v) {
@@ -125,19 +285,9 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 					workers, v, got.Layering.Layer(v), want.Layering.Layer(v))
 			}
 		}
-		if got.Objective != want.Objective {
-			t.Fatalf("Workers=%d: objective %g, want %g", workers, got.Objective, want.Objective)
-		}
-		if got.BestTour != want.BestTour {
-			t.Fatalf("Workers=%d: best tour %d, want %d", workers, got.BestTour, want.BestTour)
-		}
-		if len(got.History) != len(want.History) {
-			t.Fatalf("Workers=%d: history length %d, want %d", workers, len(got.History), len(want.History))
-		}
 		for i := range want.History {
 			if got.History[i] != want.History[i] {
-				t.Fatalf("Workers=%d: tour %d stats %+v, want %+v",
-					workers, i+1, got.History[i], want.History[i])
+				t.Fatalf("Workers=%d: tour %d stats diverged", workers, i+1)
 			}
 		}
 	}

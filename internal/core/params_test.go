@@ -31,6 +31,12 @@ func TestParamsValidate(t *testing.T) {
 		{"stretch", func(p *Params) { p.Stretch = StretchMode(9) }, "stretch"},
 		{"heuristic", func(p *Params) { p.Heuristic = HeuristicMode(9) }, "heuristic"},
 		{"maxlayers", func(p *Params) { p.MaxLayers = -1 }, "MaxLayers"},
+		{"taumin-negative", func(p *Params) { p.TauMin = -1 }, "TauMin"},
+		{"taumax-negative", func(p *Params) { p.TauMax = -0.5 }, "TauMax"},
+		// TauMin > TauMax would make clampPheromone pin every entry and
+		// freeze the colony on its first layering; it must be rejected.
+		{"taumin-exceeds-taumax", func(p *Params) { p.TauMin = 2; p.TauMax = 1 }, "TauMin"},
+		{"stagnant", func(p *Params) { p.StopAfterStagnantTours = -1 }, "StopAfterStagnantTours"},
 		{"workers", func(p *Params) { p.Workers = -2 }, "Workers"},
 	}
 	for _, c := range cases {
@@ -44,6 +50,25 @@ func TestParamsValidate(t *testing.T) {
 		if !strings.Contains(err.Error(), c.frag) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
 		}
+	}
+}
+
+func TestParamsOneSidedTauBounds(t *testing.T) {
+	// Zero disables the respective bound, so a lone TauMin (or TauMax) is
+	// valid even though it exceeds the other, disabled, one.
+	p := DefaultParams()
+	p.TauMin = 0.5
+	if err := p.Validate(); err != nil {
+		t.Fatalf("TauMin alone rejected: %v", err)
+	}
+	p = DefaultParams()
+	p.TauMax = 0.25
+	if err := p.Validate(); err != nil {
+		t.Fatalf("TauMax alone rejected: %v", err)
+	}
+	p.TauMin = 0.25 // equal bounds are a valid (fully clamped) system
+	if err := p.Validate(); err != nil {
+		t.Fatalf("TauMin == TauMax rejected: %v", err)
 	}
 }
 

@@ -69,6 +69,112 @@ comment */ a -> b; # trailing
 	}
 }
 
+// TestReadCommentsAndChains is the table-driven coverage of what benchmark
+// corpora actually exercise: the three comment forms (//, #, /* */) in
+// every position, and multi-edge chains mixed with attribute lists and
+// numeric node ids.
+func TestReadCommentsAndChains(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		wantN int
+		wantM int
+		edges [][2]string // named edges that must exist
+	}{
+		{
+			name:  "line comment between statements",
+			src:   "digraph {\na -> b; // tail comment\n// full-line comment\nb -> c;\n}",
+			wantN: 3, wantM: 2,
+			edges: [][2]string{{"a", "b"}, {"b", "c"}},
+		},
+		{
+			name:  "line comment without trailing newline",
+			src:   "digraph { a -> b; } // eof comment",
+			wantN: 2, wantM: 1,
+		},
+		{
+			name:  "hash comments",
+			src:   "# preprocessor-style header\ndigraph {\na -> b # tail\n# between\nb -> c\n}",
+			wantN: 3, wantM: 2,
+			edges: [][2]string{{"a", "b"}, {"b", "c"}},
+		},
+		{
+			name:  "hash comment without trailing newline",
+			src:   "digraph { a -> b; } # eof",
+			wantN: 2, wantM: 1,
+		},
+		{
+			name:  "block comment inside an edge statement",
+			src:   "digraph { a /* inline */ -> /* again */ b; }",
+			wantN: 2, wantM: 1,
+			edges: [][2]string{{"a", "b"}},
+		},
+		{
+			name:  "multi-line block comment",
+			src:   "digraph {\na -> b;\n/* spans\nseveral\nlines */\nb -> c;\n}",
+			wantN: 3, wantM: 2,
+		},
+		{
+			name:  "block comment inside an attribute list",
+			src:   `digraph { a [label="A" /* why */ , width=2]; }`,
+			wantN: 1, wantM: 0,
+		},
+		{
+			name:  "chain with attribute list",
+			src:   `digraph { a -> b -> c [style=dotted, weight=2]; }`,
+			wantN: 3, wantM: 2,
+			edges: [][2]string{{"a", "b"}, {"b", "c"}},
+		},
+		{
+			name:  "chain of quoted and bare names",
+			src:   `digraph { "n 1" -> mid -> "n 2"; }`,
+			wantN: 3, wantM: 2,
+			edges: [][2]string{{"n 1", "mid"}, {"mid", "n 2"}},
+		},
+		{
+			name:  "unspaced numeric chain",
+			src:   `digraph { 1->2->3; }`,
+			wantN: 3, wantM: 2,
+			edges: [][2]string{{"1", "2"}, {"2", "3"}},
+		},
+		{
+			name:  "numeric ids with attributes and comments",
+			src:   "digraph {\n0 [width=1.5]\n0->1 [weight=2] // chain tail\n}",
+			wantN: 2, wantM: 1,
+			edges: [][2]string{{"0", "1"}},
+		},
+		{
+			name:  "scientific-notation width survives sign handling",
+			src:   `digraph { a [width=1.5e+1]; a -> b; }`,
+			wantN: 2, wantM: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, err := ReadString(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.Graph.N() != c.wantN || n.Graph.M() != c.wantM {
+				t.Fatalf("n=%d m=%d, want %d, %d", n.Graph.N(), n.Graph.M(), c.wantN, c.wantM)
+			}
+			for _, e := range c.edges {
+				u, ok := n.ID[e[0]]
+				if !ok {
+					t.Fatalf("vertex %q missing", e[0])
+				}
+				v, ok := n.ID[e[1]]
+				if !ok {
+					t.Fatalf("vertex %q missing", e[1])
+				}
+				if !n.Graph.HasEdge(u, v) {
+					t.Fatalf("edge %q -> %q missing", e[0], e[1])
+				}
+			}
+		})
+	}
+}
+
 func TestReadQuotedNames(t *testing.T) {
 	n, err := ReadString(`digraph { "node one" -> "node:two"; }`)
 	if err != nil {

@@ -120,8 +120,15 @@ func tokenize(r io.Reader) ([]token, error) {
 			}
 			toks = append(toks, token{tokIdent, s, line})
 		case unicode.IsDigit(c) || c == '.':
+			// A sign only continues the number directly after an exponent
+			// marker: otherwise "1->2" would lex as the number "1-" and
+			// break unspaced numeric edge chains.
+			prev := c
 			s, err := readWhile(br, string(c), func(r rune) bool {
-				return unicode.IsDigit(r) || r == '.' || r == 'e' || r == 'E' || r == '+' || r == '-'
+				ok := unicode.IsDigit(r) || r == '.' || r == 'e' || r == 'E' ||
+					((r == '+' || r == '-') && (prev == 'e' || prev == 'E'))
+				prev = r
+				return ok
 			})
 			if err != nil {
 				return nil, err

@@ -63,6 +63,72 @@ func TestApplyNeverIncreasesDummies(t *testing.T) {
 	}
 }
 
+// applyCloneReference is the pre-undo-log implementation of Apply: a full
+// clone per candidate vertex, restored wholesale on rejection. It is the
+// behavioural reference the O(N) undo-log implementation must match
+// layer for layer.
+func applyCloneReference(l *layering.Layering) (*layering.Layering, Result) {
+	work := l.Clone()
+	res := Result{}
+	n := work.Graph().N()
+	for {
+		res.Rounds++
+		improved := false
+		for v := 0; v < n; v++ {
+			if work.Graph().InDegree(v) == 0 {
+				continue
+			}
+			backup := work.Clone()
+			var undo []undoEntry
+			if delta := promoteVertex(work, v, &undo); delta < 0 {
+				improved = true
+				res.Promotions++
+				res.DummyDelta += delta
+			} else {
+				work = backup
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	work.Normalize()
+	return work, res
+}
+
+func TestApplyMatchesCloneReference(t *testing.T) {
+	// The undo-log rollback must be observationally identical to restoring
+	// a clone, across the corpus generator's graph shapes.
+	sample, err := graphgen.CorpusSample(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := 0
+	for _, group := range sample {
+		for _, g := range group.Graphs {
+			lpl, err := longestpath.Layer(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotRes := Apply(lpl)
+			want, wantRes := applyCloneReference(lpl)
+			if gotRes != wantRes {
+				t.Fatalf("n=%d: result %+v, reference %+v", g.N(), gotRes, wantRes)
+			}
+			for v := 0; v < g.N(); v++ {
+				if got.Layer(v) != want.Layer(v) {
+					t.Fatalf("n=%d: layer of v%d = %d, reference %d",
+						g.N(), v, got.Layer(v), want.Layer(v))
+				}
+			}
+			graphs++
+		}
+	}
+	if graphs == 0 {
+		t.Fatal("corpus sample empty")
+	}
+}
+
 func TestApplyDoesNotModifyInput(t *testing.T) {
 	g := dag.New(3)
 	g.MustAddEdge(2, 1)
