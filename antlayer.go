@@ -1,6 +1,8 @@
 package antlayer
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"antlayer/internal/coffmangraham"
@@ -119,15 +121,53 @@ func NetworkSimplexBalanced() Layerer {
 	return layererFunc(func(g *Graph) (*Layering, error) { return netsimplex.LayerBalanced(g, true) })
 }
 
-// AntColony returns the paper's ACO layering algorithm.
+// LayererByName returns the layering algorithm with the given short name —
+// the vocabulary shared by cmd/daglayer and the HTTP daemon: "aco" (the
+// paper's ant colony, configured by aco and bounded by ctx), "lpl"
+// (LongestPath), "minwidth" (MinWidthBest at dummyWidth), "cg"
+// (CoffmanGraham at cgWidth) or "ns" (NetworkSimplex).
+func LayererByName(ctx context.Context, name string, dummyWidth float64, cgWidth int, aco ACOParams) (Layerer, error) {
+	switch name {
+	case "aco":
+		return AntColonyContext(ctx, aco), nil
+	case "lpl":
+		return LongestPath(), nil
+	case "minwidth":
+		return MinWidthBest(dummyWidth), nil
+	case "cg":
+		return CoffmanGraham(cgWidth), nil
+	case "ns":
+		return NetworkSimplex(), nil
+	}
+	return nil, fmt.Errorf("antlayer: unknown algorithm %q (want aco|lpl|minwidth|cg|ns)", name)
+}
+
+// AntColony returns the paper's ACO layering algorithm. The run cannot be
+// cancelled; use AntColonyContext to bound it by a context.
 func AntColony(p ACOParams) Layerer {
-	return layererFunc(func(g *Graph) (*Layering, error) { return core.Layer(g, p) })
+	return AntColonyContext(context.Background(), p)
+}
+
+// AntColonyContext returns the paper's ACO layering algorithm with every
+// run bounded by ctx: when ctx is cancelled or its deadline expires the
+// colony stops within one ant walk per worker and Layer returns an error
+// wrapping ctx.Err(). A run that completes is unaffected by the context —
+// the layering is the same bitwise-deterministic function of the
+// parameters that AntColony computes.
+func AntColonyContext(ctx context.Context, p ACOParams) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return core.Layer(ctx, g, p) })
 }
 
 // AntColonyRun runs the colony and returns the full result including the
 // objective value and per-tour convergence history.
 func AntColonyRun(g *Graph, p ACOParams) (*ACOResult, error) {
-	return core.Run(g, p)
+	return AntColonyRunContext(context.Background(), g, p)
+}
+
+// AntColonyRunContext is AntColonyRun bounded by ctx; see AntColonyContext
+// for the cancellation semantics.
+func AntColonyRunContext(ctx context.Context, g *Graph, p ACOParams) (*ACOResult, error) {
+	return core.Run(ctx, g, p)
 }
 
 // WithPromotion wraps a layerer with the Promote Layering heuristic of

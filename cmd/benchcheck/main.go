@@ -1,0 +1,259 @@
+// Command benchcheck turns `go test -bench` output into a JSON benchmark
+// record and compares two records with a relative ns/op tolerance. CI uses
+// it to pin the hot-path benchmarks (Walk, ChooseLayer, AntColonyWorkers):
+// every push uploads a BENCH_<sha>.json artifact and fails when a pinned
+// benchmark regresses by more than the tolerance against the committed
+// baseline (.github/bench/baseline.json).
+//
+// Usage:
+//
+//	go test -bench 'Walk|ChooseLayer' -count 5 ./... | benchcheck parse -out BENCH_abc.json
+//	benchcheck compare -tolerance 0.20 baseline.json BENCH_abc.json
+//
+// parse keys each benchmark by its name with the trailing -<GOMAXPROCS>
+// suffix stripped, so records from machines with different core counts
+// stay comparable, and stores all ns/op repetitions plus their median and
+// minimum. compare judges the **minimum**: for a CPU-bound benchmark,
+// scheduling noise and co-tenancy only ever add time, so the fastest of
+// the -count repetitions is the most stable estimate of the code's true
+// cost and the statistic least likely to flip the gate on a noisy runner
+// (the baseline's own AntColonyWorkers samples spread >50% around their
+// median; their minima are tight). compare exits 1 when a benchmark
+// present in the baseline is missing from the new record or its min ns/op
+// exceeds baseline × (1 + tolerance); improvements beyond the tolerance
+// are reported as a hint to refresh the baseline but do not fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is the JSON document benchcheck writes and compares.
+type Record struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Note carries provenance (e.g. which machine produced a committed
+	// baseline); compare ignores it.
+	Note       string               `json:"note,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark aggregates the -count repetitions of one benchmark.
+type Benchmark struct {
+	NsPerOp       []float64 `json:"ns_per_op"`
+	MedianNsPerOp float64   `json:"median_ns_per_op"`
+	MinNsPerOp    float64   `json:"min_ns_per_op"`
+}
+
+// gateValue is the statistic compare judges: the minimum, falling back to
+// the median for records written before the min field existed.
+func (b Benchmark) gateValue() float64 {
+	if b.MinNsPerOp > 0 {
+		return b.MinNsPerOp
+	}
+	return b.MedianNsPerOp
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchcheck parse [-out file] | benchcheck compare [-tolerance 0.20] baseline.json new.json")
+	}
+	switch args[0] {
+	case "parse":
+		return runParse(args[1:], stdin, stdout)
+	case "compare":
+		return runCompare(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want parse|compare)", args[0])
+	}
+}
+
+func runParse(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchcheck parse", flag.ContinueOnError)
+	out := fs.String("out", "", "write the JSON record here (default: stdout)")
+	note := fs.String("note", "", "provenance note stored in the record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	rec.Note = *note
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// procSuffix matches the trailing -<GOMAXPROCS> go test appends to
+// benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and aggregates ns/op per benchmark.
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{Benchmarks: map[string]Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value in %q: %w", line, err)
+			}
+			b := rec.Benchmarks[name]
+			b.NsPerOp = append(b.NsPerOp, v)
+			b.MedianNsPerOp = median(b.NsPerOp)
+			if b.MinNsPerOp == 0 || v < b.MinNsPerOp {
+				b.MinNsPerOp = v
+			}
+			rec.Benchmarks[name] = b
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func loadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchcheck compare", flag.ContinueOnError)
+	tolerance := fs.Float64("tolerance", 0.20, "allowed relative ns/op regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare wants exactly two files: baseline.json new.json")
+	}
+	base, err := loadRecord(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := loadRecord(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	report, failures := Compare(base, cur, *tolerance)
+	fmt.Fprint(stdout, report)
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond the %.0f%% tolerance", failures, *tolerance*100)
+	}
+	return nil
+}
+
+// Compare judges cur against base, returning a human-readable report and
+// the number of gate failures (regressions beyond tolerance plus pinned
+// benchmarks missing from cur).
+func Compare(base, cur *Record, tolerance float64) (report string, failures int) {
+	var b strings.Builder
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bb := base.Benchmarks[name]
+		cb, ok := cur.Benchmarks[name]
+		if !ok {
+			failures++
+			fmt.Fprintf(&b, "MISSING   %-60s pinned in baseline but absent from the new record\n", name)
+			continue
+		}
+		bv, cv := bb.gateValue(), cb.gateValue()
+		ratio := cv / bv
+		delta := (ratio - 1) * 100
+		switch {
+		case ratio > 1+tolerance:
+			failures++
+			fmt.Fprintf(&b, "REGRESSED %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", name, bv, cv, delta)
+		case ratio < 1-tolerance:
+			fmt.Fprintf(&b, "IMPROVED  %-60s %12.1f -> %12.1f ns/op (%+.1f%%) — consider refreshing the baseline\n", name, bv, cv, delta)
+		default:
+			fmt.Fprintf(&b, "ok        %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", name, bv, cv, delta)
+		}
+	}
+	extra := make([]string, 0)
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(&b, "NEW       %-60s %12.1f ns/op (not in baseline)\n", name, cur.Benchmarks[name].gateValue())
+	}
+	return b.String(), failures
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: antlayer/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkWalk/n=30/heur=objective-8         	     100	     11000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWalk/n=30/heur=objective-8         	     100	     10000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWalk/n=30/heur=objective-8         	     100	     12000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkChooseLayer/n=60/sel=pseudo-random-8	    100	      2500 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	antlayer/internal/core	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header: %+v", rec)
+	}
+	// The -8 procs suffix must be stripped so records from different
+	// machines share keys.
+	walk, ok := rec.Benchmarks["BenchmarkWalk/n=30/heur=objective"]
+	if !ok {
+		t.Fatalf("walk benchmark missing; keys: %v", keys(rec))
+	}
+	if len(walk.NsPerOp) != 3 || walk.MedianNsPerOp != 11000 || walk.MinNsPerOp != 10000 {
+		t.Fatalf("walk aggregation wrong: %+v", walk)
+	}
+	cl, ok := rec.Benchmarks["BenchmarkChooseLayer/n=60/sel=pseudo-random"]
+	if !ok || cl.MedianNsPerOp != 2500 {
+		t.Fatalf("chooselayer: %+v ok=%v", cl, ok)
+	}
+}
+
+func keys(r *Record) []string {
+	var out []string
+	for k := range r.Benchmarks {
+		out = append(out, k)
+	}
+	return out
+}
+
+func rec(meds map[string]float64) *Record {
+	r := &Record{Benchmarks: map[string]Benchmark{}}
+	for k, v := range meds {
+		r.Benchmarks[k] = Benchmark{NsPerOp: []float64{v}, MedianNsPerOp: v}
+	}
+	return r
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	report, failures := Compare(rec(map[string]float64{"A": 100}), rec(map[string]float64{"A": 115}), 0.20)
+	if failures != 0 {
+		t.Fatalf("15%% drift failed the 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "ok") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	report, failures := Compare(rec(map[string]float64{"A": 100, "B": 50}), rec(map[string]float64{"A": 130, "B": 50}), 0.20)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1:\n%s", failures, report)
+	}
+	if !strings.Contains(report, "REGRESSED") || !strings.Contains(report, "A") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	report, failures := Compare(rec(map[string]float64{"A": 100}), rec(map[string]float64{"B": 100}), 0.20)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1:\n%s", failures, report)
+	}
+	if !strings.Contains(report, "MISSING") || !strings.Contains(report, "NEW") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	report, failures := Compare(rec(map[string]float64{"A": 100}), rec(map[string]float64{"A": 50}), 0.20)
+	if failures != 0 {
+		t.Fatalf("an improvement failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "IMPROVED") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+// TestCompareJudgesMinNotMedian pins the noise-robustness choice: a noisy
+// run that drags the median up must not fail the gate as long as the
+// fastest repetition holds.
+func TestCompareJudgesMinNotMedian(t *testing.T) {
+	base := &Record{Benchmarks: map[string]Benchmark{
+		"A": {NsPerOp: []float64{100, 101, 102}, MedianNsPerOp: 101, MinNsPerOp: 100},
+	}}
+	noisy := &Record{Benchmarks: map[string]Benchmark{
+		"A": {NsPerOp: []float64{105, 300, 400}, MedianNsPerOp: 300, MinNsPerOp: 105},
+	}}
+	report, failures := Compare(base, noisy, 0.20)
+	if failures != 0 {
+		t.Fatalf("noisy-but-fast run failed the gate:\n%s", report)
+	}
+	// Records without the min field (older baselines) fall back to median.
+	old := &Record{Benchmarks: map[string]Benchmark{"A": {MedianNsPerOp: 101}}}
+	slow := &Record{Benchmarks: map[string]Benchmark{"A": {MedianNsPerOp: 300}}}
+	if _, failures := Compare(old, slow, 0.20); failures != 1 {
+		t.Fatal("median fallback not applied for records lacking min")
+	}
+}
+
+// TestEndToEnd drives the CLI exactly as CI does: parse two records, then
+// compare them.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	current := filepath.Join(dir, "current.json")
+	if err := run([]string{"parse", "-out", baseline, "-note", "test"}, strings.NewReader(sampleBench), sink()); err != nil {
+		t.Fatal(err)
+	}
+	slower := strings.ReplaceAll(sampleBench, "2500 ns/op", "9900 ns/op")
+	if err := run([]string{"parse", "-out", current}, strings.NewReader(slower), sink()); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"compare", "-tolerance", "0.20", baseline, current}, nil, &out)
+	if err == nil {
+		t.Fatalf("compare passed despite 4x regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("report: %s", out.String())
+	}
+	// Identical records pass.
+	out.Reset()
+	if err := run([]string{"compare", baseline, baseline}, nil, &out); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+
+	// The emitted JSON is a valid Record with the note preserved.
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Note != "test" || len(r.Benchmarks) != 2 {
+		t.Fatalf("record: %+v", r)
+	}
+}
+
+func sink() *bytes.Buffer { return new(bytes.Buffer) }

@@ -1,32 +1,79 @@
-// Command daglayer layers a DAG read from a DOT file (or stdin) with a
-// chosen algorithm and reports the paper's quality metrics, optionally
-// emitting an SVG or ASCII drawing via the Sugiyama pipeline.
+// Command daglayer layers DAGs with a chosen algorithm — as a one-shot
+// CLI or as a long-running HTTP daemon.
 //
 // Usage:
+//
+//	daglayer [layer] [flags]   layer one graph from a DOT file (or stdin)
+//	daglayer serve  [flags]    run the layering HTTP service
+//	daglayer help              print this overview
+//
+// One-shot layering reads a graph, reports the paper's quality metrics and
+// optionally emits an SVG or ASCII drawing via the Sugiyama pipeline:
 //
 //	daglayer -algo aco [-in graph.dot] [-promote] [-svg out.svg] [-ascii]
 //	         [-dummy-width 1.0] [-ants 10] [-tours 10] [-alpha 1] [-beta 3]
 //	         [-seed 1] [-workers 0] [-cg-width 4]
 //
 // Algorithms: aco (default), lpl, minwidth, cg (Coffman–Graham), ns
-// (network simplex).
+// (network simplex). Interrupting a run (Ctrl-C) cancels the colony.
+//
+// The daemon answers POSTed graphs with layering JSON, caches results and
+// bounds every request by a deadline (see internal/server):
+//
+//	daglayer serve [-addr :8645] [-cache 256] [-max-concurrent 0]
+//	               [-timeout 30s] [-max-timeout 2m] [-quiet]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"antlayer"
 	"antlayer/internal/dot"
 )
 
+// modes lists the subcommands for usage and unknown-subcommand errors.
+const modes = `modes:
+  layer   layer one graph and print metrics (default; see 'daglayer layer -h')
+  serve   run the layering HTTP daemon (see 'daglayer serve -h')
+  help    print this overview`
+
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "daglayer:", err)
 		os.Exit(1)
 	}
+}
+
+// run dispatches on the subcommand. A leading non-flag argument selects
+// the mode; anything else is the historical flag-only invocation, which
+// stays the `layer` mode.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "layer":
+			return runLayer(ctx, args[1:], stdin, stdout)
+		case "serve":
+			return runServe(ctx, args[1:], stdout)
+		case "help":
+			fmt.Fprintf(stdout, "usage: daglayer [mode] [flags]\n\n%s\n", modes)
+			return nil
+		default:
+			return fmt.Errorf("unknown mode %q\n%s", args[0], modes)
+		}
+	}
+	return runLayer(ctx, args, stdin, stdout)
 }
 
 // buildACO assembles colony parameters from the CLI flags.
@@ -43,7 +90,7 @@ func buildACO(ants, tours, workers int, alpha, beta, dummyWidth float64, seed in
 }
 
 // runComparison layers g with every algorithm and prints one row each.
-func runComparison(w io.Writer, g *antlayer.Graph, dummyWidth float64, cgWidth int, aco antlayer.ACOParams) error {
+func runComparison(ctx context.Context, w io.Writer, g *antlayer.Graph, dummyWidth float64, cgWidth int, aco antlayer.ACOParams) error {
 	algos := []struct {
 		name string
 		l    antlayer.Layerer
@@ -53,7 +100,7 @@ func runComparison(w io.Writer, g *antlayer.Graph, dummyWidth float64, cgWidth i
 		{"minwidth", antlayer.MinWidthBest(dummyWidth)},
 		{fmt.Sprintf("cg(w=%d)", cgWidth), antlayer.CoffmanGraham(cgWidth)},
 		{"netsimplex", antlayer.NetworkSimplex()},
-		{"aco", antlayer.AntColony(aco)},
+		{"aco", antlayer.AntColonyContext(ctx, aco)},
 	}
 	fmt.Fprintf(w, "graph: %d vertices, %d edges\n", g.N(), g.M())
 	fmt.Fprintf(w, "%-12s %7s %11s %11s %8s %8s\n",
@@ -70,8 +117,12 @@ func runComparison(w io.Writer, g *antlayer.Graph, dummyWidth float64, cgWidth i
 	return nil
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	fs := flag.NewFlagSet("daglayer", flag.ContinueOnError)
+func runLayer(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("daglayer layer", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: daglayer [layer] [flags] (reads the graph from -in or stdin)\n\n%s\n\nflags of the layer mode:\n", modes)
+		fs.PrintDefaults()
+	}
 	var (
 		in         = fs.String("in", "", "input file (default: stdin)")
 		format     = fs.String("format", "dot", "input format: dot | edges (corpusgen edge lists)")
@@ -110,17 +161,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "dot":
 		g, names, err = antlayer.ReadDOT(r)
 	case "edges":
-		g, err = dot.ReadEdgeList(r)
-		if err == nil {
-			// Edge lists carry no names; synthesise v<N> (the same
-			// fallback dot.Write uses) and set them as labels so the SVG,
-			// rank-dot and ASCII outputs render labelled vertices too.
-			names = make([]string, g.N())
-			for v := range names {
-				names[v] = fmt.Sprintf("v%d", v)
-				g.SetLabel(v, names[v])
-			}
-		}
+		// ReadEdgeListNamed synthesises v<N> names and labels, so the
+		// SVG, rank-dot and ASCII outputs render labelled vertices too.
+		g, names, err = dot.ReadEdgeListNamed(r)
 	default:
 		return fmt.Errorf("unknown input format %q (want dot|edges)", *format)
 	}
@@ -129,23 +172,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *compare {
-		return runComparison(stdout, g, *dummyWidth, *cgWidth, buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
+		return runComparison(ctx, stdout, g, *dummyWidth, *cgWidth, buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
 	}
 
-	var layerer antlayer.Layerer
-	switch *algo {
-	case "aco":
-		layerer = antlayer.AntColony(buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
-	case "lpl":
-		layerer = antlayer.LongestPath()
-	case "minwidth":
-		layerer = antlayer.MinWidthBest(*dummyWidth)
-	case "cg":
-		layerer = antlayer.CoffmanGraham(*cgWidth)
-	case "ns":
-		layerer = antlayer.NetworkSimplex()
-	default:
-		return fmt.Errorf("unknown algorithm %q (want aco|lpl|minwidth|cg|ns)", *algo)
+	layerer, err := antlayer.LayererByName(ctx, *algo, *dummyWidth, *cgWidth,
+		buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
+	if err != nil {
+		return err
 	}
 	if *doPromote {
 		layerer = antlayer.WithPromotion(layerer)

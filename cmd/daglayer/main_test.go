@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,7 +15,7 @@ const demoDOT = `digraph demo {
 
 func TestRunEdgeListFormat(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-format", "edges", "-algo", "ns"},
+	err := run(context.Background(), []string{"-format", "edges", "-algo", "ns"},
 		strings.NewReader("3 2\n2 1\n1 0\n"), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -22,7 +23,7 @@ func TestRunEdgeListFormat(t *testing.T) {
 	if !strings.Contains(out.String(), "height:           3") {
 		t.Fatalf("edge-list input mishandled:\n%s", out.String())
 	}
-	if err := run([]string{"-format", "bogus"}, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), []string{"-format", "bogus"}, strings.NewReader(""), &out); err == nil {
 		t.Fatal("bogus format accepted")
 	}
 }
@@ -35,7 +36,7 @@ func TestRunEdgeListNamesDrawings(t *testing.T) {
 	svg := filepath.Join(dir, "out.svg")
 	rank := filepath.Join(dir, "rank.dot")
 	var out bytes.Buffer
-	err := run([]string{"-format", "edges", "-algo", "lpl", "-svg", svg, "-rank-dot", rank, "-ascii"},
+	err := run(context.Background(), []string{"-format", "edges", "-algo", "lpl", "-svg", svg, "-rank-dot", rank, "-ascii"},
 		strings.NewReader("3 2\n2 1\n1 0\n"), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +63,7 @@ func TestRunEdgeListNamesDrawings(t *testing.T) {
 func TestRunFromStdin(t *testing.T) {
 	for _, algo := range []string{"aco", "lpl", "minwidth", "cg", "ns"} {
 		var out bytes.Buffer
-		err := run([]string{"-algo", algo}, strings.NewReader(demoDOT), &out)
+		err := run(context.Background(), []string{"-algo", algo}, strings.NewReader(demoDOT), &out)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -75,7 +76,7 @@ func TestRunFromStdin(t *testing.T) {
 
 func TestRunWithPromote(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "lpl", "-promote"}, strings.NewReader(demoDOT), &out); err != nil {
+	if err := run(context.Background(), []string{"-algo", "lpl", "-promote"}, strings.NewReader(demoDOT), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "promote=true") {
@@ -91,7 +92,7 @@ func TestRunFromFileWithSVG(t *testing.T) {
 	}
 	svg := filepath.Join(dir, "out.svg")
 	var out bytes.Buffer
-	err := run([]string{"-in", in, "-algo", "aco", "-svg", svg, "-ascii"}, nil, &out)
+	err := run(context.Background(), []string{"-in", in, "-algo", "aco", "-svg", svg, "-ascii"}, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunFromFileWithSVG(t *testing.T) {
 
 func TestRunCompare(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-compare"}, strings.NewReader(demoDOT), &out); err != nil {
+	if err := run(context.Background(), []string{"-compare"}, strings.NewReader(demoDOT), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -128,7 +129,7 @@ func TestRunRankDOT(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ranked.dot")
 	var buf bytes.Buffer
-	if err := run([]string{"-algo", "lpl", "-rank-dot", out}, strings.NewReader(demoDOT), &buf); err != nil {
+	if err := run(context.Background(), []string{"-algo", "lpl", "-rank-dot", out}, strings.NewReader(demoDOT), &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -146,14 +147,14 @@ func TestRunErrors(t *testing.T) {
 		{"-in", "/nonexistent/file.dot"},
 	}
 	for _, args := range cases {
-		if err := run(args, strings.NewReader(demoDOT), new(bytes.Buffer)); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(demoDOT), new(bytes.Buffer)); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
-	if err := run(nil, strings.NewReader("garbage"), new(bytes.Buffer)); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader("garbage"), new(bytes.Buffer)); err == nil {
 		t.Error("garbage DOT accepted")
 	}
-	if err := run([]string{"-bogus-flag"}, nil, new(bytes.Buffer)); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}, nil, new(bytes.Buffer)); err == nil {
 		t.Error("bogus flag accepted")
 	}
 }
@@ -162,7 +163,7 @@ func TestRunCyclicInputViaACO(t *testing.T) {
 	// daglayer layers directly (no cycle removal); cyclic input must be
 	// rejected by the layerer.
 	cyc := `digraph { a -> b; b -> a; }`
-	if err := run([]string{"-algo", "lpl"}, strings.NewReader(cyc), new(bytes.Buffer)); err == nil {
+	if err := run(context.Background(), []string{"-algo", "lpl"}, strings.NewReader(cyc), new(bytes.Buffer)); err == nil {
 		t.Fatal("cyclic input accepted")
 	}
 }

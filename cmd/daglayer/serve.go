@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"antlayer/internal/server"
+)
+
+// runServe starts the layering HTTP daemon and blocks until ctx is
+// cancelled (Ctrl-C / SIGTERM in main), then shuts down gracefully.
+func runServe(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("daglayer serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8645", "listen address")
+		cacheSize  = fs.Int("cache", 256, "result cache capacity in responses (negative disables)")
+		maxConc    = fs.Int("max-concurrent", 0, "max concurrently computing requests (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "cap on the per-request timeout-ms override")
+		maxBody    = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		grace      = fs.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests")
+		quiet      = fs.Bool("quiet", false, "suppress per-request logging")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: daglayer serve [flags]
+
+Runs the layering HTTP daemon:
+
+  POST /layer     layer a DOT (or edge-list) graph; see README "Serving"
+  GET  /healthz   liveness
+  GET  /metrics   counters: requests, cache hit rate, tours, p50/p99 latency
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := server.Config{
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		MaxConcurrent:  *maxConc,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		ShutdownGrace:  *grace,
+	}
+	if !*quiet {
+		cfg.Log = log.New(stdout, "daglayer: ", log.LstdFlags)
+	}
+	return server.New(cfg).ListenAndServe(ctx)
+}

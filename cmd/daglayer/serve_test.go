@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUnknownModeListsModes(t *testing.T) {
+	err := run(context.Background(), []string{"frobnicate"}, nil, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("unknown mode succeeded")
+	}
+	for _, want := range []string{"frobnicate", "layer", "serve"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestHelpMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"help"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"layer", "serve", "usage"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("help output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExplicitLayerMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"layer", "-algo", "lpl"}, strings.NewReader(demoDOT), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "algorithm: lpl") {
+		t.Fatalf("layer mode output:\n%s", out.String())
+	}
+}
+
+func TestServeBadFlag(t *testing.T) {
+	if err := run(context.Background(), []string{"serve", "-bogus"}, nil, new(bytes.Buffer)); err == nil {
+		t.Fatal("serve with unknown flag succeeded")
+	}
+}
+
+func TestServeStartsAndShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, nil, new(bytes.Buffer))
+	}()
+	// Give the listener a moment to come up, then trigger shutdown.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancel")
+	}
+}

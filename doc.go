@@ -41,6 +41,16 @@
 // tours, never during one. See README.md ("Parallelism") for the full
 // guarantee.
 //
+// # Cancellation and serving
+//
+// Colony runs accept a context: AntColonyContext and AntColonyRunContext
+// stop within one ant walk per worker of the context being cancelled or
+// its deadline expiring, returning an error that wraps ctx.Err(). A
+// context that never fires changes nothing — determinism holds. On top of
+// this, `daglayer serve` (internal/server) exposes layering as an HTTP
+// daemon with an exact LRU result cache, bounded concurrency, per-request
+// deadlines, /healthz and /metrics; see README.md ("Serving").
+//
 // See examples/ for runnable programs, README.md for a feature matrix of
 // the six layerers, and DESIGN.md for the system inventory and
 // per-experiment index.

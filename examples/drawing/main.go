@@ -8,14 +8,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"antlayer"
 )
 
 func main() {
+	// Ctrl-C cancels the colony run instead of killing it mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	services := []string{
 		"gateway", "auth", "users", "orders", "billing",
 		"inventory", "shipping", "notify", "audit", "search",
@@ -44,7 +49,7 @@ func main() {
 
 	p := antlayer.DefaultACOParams()
 	p.Seed = 3
-	d, err := antlayer.Draw(g, antlayer.AntColony(p), nil)
+	d, err := antlayer.Draw(g, antlayer.AntColonyContext(ctx, p), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

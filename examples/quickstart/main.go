@@ -3,14 +3,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"antlayer"
 )
 
 func main() {
+	// Ctrl-C cancels the colony run instead of killing it mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	// A small module-dependency DAG. Edges point from dependent to
 	// dependency: the layering puts every module above everything it
 	// depends on (sinks end up on layer 1).
@@ -51,7 +56,7 @@ func main() {
 		{"MinWidth", antlayer.MinWidthBest(1.0)},
 		{"CoffmanGraham(w=3)", antlayer.CoffmanGraham(3)},
 		{"NetworkSimplex", antlayer.NetworkSimplex()},
-		{"AntColony", antlayer.AntColony(antlayer.DefaultACOParams())},
+		{"AntColony", antlayer.AntColonyContext(ctx, antlayer.DefaultACOParams())},
 	}
 	fmt.Printf("%-22s %7s %11s %8s %8s\n", "algorithm", "height", "width(+d)", "dummies", "density")
 	for _, a := range algorithms {
@@ -64,7 +69,7 @@ func main() {
 	}
 
 	// Show the ant colony's layering layer by layer.
-	l, err := antlayer.AntColony(antlayer.DefaultACOParams()).Layer(g)
+	l, err := antlayer.AntColonyContext(ctx, antlayer.DefaultACOParams()).Layer(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +84,7 @@ func main() {
 	}
 
 	// And a full drawing through the Sugiyama pipeline.
-	d, err := antlayer.Draw(g, antlayer.AntColony(antlayer.DefaultACOParams()), nil)
+	d, err := antlayer.Draw(g, antlayer.AntColonyContext(ctx, antlayer.DefaultACOParams()), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,15 +10,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"antlayer"
 	"antlayer/internal/graphgen"
 )
 
 func main() {
+	// Ctrl-C cancels the colony run instead of killing it mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	rng := rand.New(rand.NewSource(11))
 	// 60 build tasks, sparse dependencies, all reachable from a root.
 	g, err := graphgen.Generate(graphgen.Config{N: 60, EdgeFactor: 1.5, MaxDegree: 5, Connected: true}, rng)
@@ -36,7 +42,7 @@ func main() {
 		{"CoffmanGraham(w=4)", antlayer.CoffmanGraham(4)},
 		{"CoffmanGraham(w=6)", antlayer.CoffmanGraham(6)},
 		{"MinWidth", antlayer.MinWidthBest(1.0)},
-		{"AntColony", antlayer.AntColony(antlayer.DefaultACOParams())},
+		{"AntColony", antlayer.AntColonyContext(ctx, antlayer.DefaultACOParams())},
 	}
 
 	fmt.Printf("%-20s %6s %14s %16s %9s\n",

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 	"runtime"
 
 	"antlayer"
@@ -16,6 +19,10 @@ import (
 )
 
 func main() {
+	// The grid sweep runs 75 colonies; Ctrl-C cancels the one in flight
+	// instead of leaving it to finish (AntColonyRunContext).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	rng := rand.New(rand.NewSource(5))
 	g, err := graphgen.Generate(graphgen.DefaultConfig(80), rng)
 	if err != nil {
@@ -50,7 +57,7 @@ func main() {
 			for seed := int64(1); seed <= 3; seed++ {
 				p := antlayer.DefaultACOParams()
 				p.Alpha, p.Beta, p.Seed = a, b, seed
-				res, err := antlayer.AntColonyRun(g, p)
+				res, err := antlayer.AntColonyRunContext(ctx, g, p)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -64,7 +71,7 @@ func main() {
 	// Convergence history for the adopted (1, 3).
 	p := antlayer.DefaultACOParams()
 	p.Tours = 15
-	res, err := antlayer.AntColonyRun(g, p)
+	res, err := antlayer.AntColonyRunContext(ctx, g, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +87,7 @@ func main() {
 	// parallel run above bit for bit — the layer of every single vertex,
 	// not just the aggregate metrics.
 	p.Workers = 1
-	seq, err := antlayer.AntColonyRun(g, p)
+	seq, err := antlayer.AntColonyRunContext(ctx, g, p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,15 +7,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"antlayer"
 	"antlayer/internal/graphgen"
 )
 
 func main() {
+	// Ctrl-C cancels the colony run instead of killing it mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	rng := rand.New(rand.NewSource(21))
 	g, err := graphgen.Generate(graphgen.Config{N: 50, EdgeFactor: 1.3, MaxDegree: 5, Connected: true}, rng)
 	if err != nil {
@@ -34,7 +40,7 @@ func main() {
 		p := antlayer.DefaultACOParams()
 		p.Tours = 15
 		p.WidthBound = bound
-		l, err := antlayer.AntColony(p).Layer(g)
+		l, err := antlayer.AntColonyContext(ctx, p).Layer(g)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"antlayer/internal/graphgen"
+)
+
+// cancelTestGraph is big enough that a multi-thousand-tour run takes far
+// longer than the deadlines the tests arm.
+func cancelTestGraph(t *testing.T) (*Colony, Params) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(120), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Tours = 100000
+	c, err := NewColony(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	c, _ := cancelTestGraph(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := c.RunContext(ctx)
+	if res != nil || err == nil {
+		t.Fatalf("RunContext under an expired deadline returned (%v, %v), want (nil, error)", res, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	// A 100000-tour run takes minutes; hitting the deadline means the tour
+	// loop actually observed the context. Generous bound for slow CI.
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancelled run still took %v", el)
+	}
+}
+
+func TestRunContextCancelStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c, _ := cancelTestGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunContext(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+	// The tour worker pool must wind down with the run.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked after cancelled run: %d -> %d", before, after)
+	}
+}
+
+// TestRunContextArmedCancelDeterminism pins the cancellation design rule:
+// a context that never fires must not change the layering.
+func TestRunContextArmedCancelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(60), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	want, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	got, err := Run(ctx, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, ga := want.Layering.Assignment(), got.Layering.Assignment()
+	for v := range wa {
+		if wa[v] != ga[v] {
+			t.Fatalf("vertex %d: layer %d with armed context, %d without", v, ga[v], wa[v])
+		}
+	}
+	if want.Objective != got.Objective {
+		t.Fatalf("objective %v with armed context, %v without", got.Objective, want.Objective)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -112,8 +113,26 @@ func layerWidths(g *dag.Graph, assign []int, L int, dummyWidth float64) []float6
 }
 
 // Run executes the layering phase (Algorithm 4) and returns the best
-// layering found across all tours.
+// layering found across all tours. It is RunContext with a background
+// context: the run cannot be cancelled.
 func (c *Colony) Run() (*Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the layering phase (Algorithm 4) under ctx and
+// returns the best layering found across all tours.
+//
+// Cancellation is checked at the top of every tour and before every ant
+// walk inside a tour (the walk itself — one pass over the vertices — runs
+// to completion), so a cancelled colony stops within one walk per worker.
+// When ctx is cancelled or its deadline expires before the run completes,
+// RunContext discards the partial tour and returns nil and an error
+// wrapping ctx.Err(); use errors.Is(err, context.DeadlineExceeded) /
+// context.Canceled to tell a timeout from a shutdown. Cancellation never
+// perturbs determinism: a run that completes returns the same layering
+// whether or not a (never-fired) cancel was armed, because the checks read
+// the context without touching any ant's RNG.
+func (c *Colony) RunContext(ctx context.Context) (*Result, error) {
 	n := c.g.N()
 	if n == 0 {
 		return &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}, nil
@@ -133,7 +152,15 @@ func (c *Colony) Run() (*Result, error) {
 	stagnant := 0
 
 	for t := 1; t <= c.p.Tours; t++ {
-		ants := c.runTour(t)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: colony run aborted before tour %d: %w", t, err)
+		}
+		ants := c.runTour(ctx, t)
+		// A tour interrupted mid-flight holds a mix of walked and stale
+		// ants; discard it rather than let it update the pheromone matrix.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: colony run aborted during tour %d: %w", t, err)
+		}
 
 		// The tour's best ant: highest objective, ties to the lowest index
 		// so the outcome does not depend on scheduling.
@@ -245,7 +272,12 @@ func (c *Colony) powTauSnapshot() [][]float64 {
 // layering constructed by ant i of tour t is a pure function of Params and
 // the base layering, and the tour's outcome is bitwise-identical at any
 // worker count and under any goroutine schedule.
-func (c *Colony) runTour(t int) []*ant {
+// A cancelled ctx stops the tour early: the dispatch loop stops handing
+// out ant indices and every worker re-checks the context before each walk,
+// so at most one in-flight walk per worker completes after cancellation.
+// RunContext discards the interrupted tour, so the skipped ants' stale
+// state is never observed.
+func (c *Colony) runTour(ctx context.Context, t int) []*ant {
 	powTau := c.powTauSnapshot()
 	if c.ants == nil {
 		c.ants = make([]*ant, c.p.Ants)
@@ -267,6 +299,9 @@ func (c *Colony) runTour(t int) []*ant {
 	workers := c.workers()
 	if workers <= 1 {
 		for i := range ants {
+			if ctx.Err() != nil {
+				break
+			}
 			walkAnt(i)
 		}
 		return ants
@@ -278,11 +313,17 @@ func (c *Colony) runTour(t int) []*ant {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel so the dispatcher never blocks
+				}
 				walkAnt(i)
 			}
 		}()
 	}
 	for i := range ants {
+		if ctx.Err() != nil {
+			break
+		}
 		next <- i
 	}
 	close(next)
@@ -349,20 +390,22 @@ func (c *Colony) clampPheromone() {
 }
 
 // Layer is the package-level convenience: build a colony with the given
-// parameters and run it, returning only the layering.
-func Layer(g *dag.Graph, p Params) (*layering.Layering, error) {
-	res, err := Run(g, p)
+// parameters and run it under ctx, returning only the layering. See
+// RunContext for cancellation semantics.
+func Layer(ctx context.Context, g *dag.Graph, p Params) (*layering.Layering, error) {
+	res, err := Run(ctx, g, p)
 	if err != nil {
 		return nil, err
 	}
 	return res.Layering, nil
 }
 
-// Run builds a colony and runs it.
-func Run(g *dag.Graph, p Params) (*Result, error) {
+// Run builds a colony and runs it under ctx. See RunContext for
+// cancellation semantics.
+func Run(ctx context.Context, g *dag.Graph, p Params) (*Result, error) {
 	c, err := NewColony(g, p)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run()
+	return c.RunContext(ctx)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -21,7 +22,7 @@ func TestRunValidLayering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(g, DefaultParams())
+		res, err := Run(context.Background(), g, DefaultParams())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,11 +55,11 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	p := DefaultParams()
 	p.Seed = 12345
-	a, err := Run(g, p)
+	a, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, p)
+	b, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 	seq.Workers = 1
 	par := seq
 	par.Workers = 4
-	a, err := Run(g, seq)
+	a, err := Run(context.Background(), g, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, par)
+	b, err := Run(context.Background(), g, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 			base.Workers = 1
 			base.Heuristic = gc.heur
 			base.Selection = gc.sel
-			want, err := Run(g, base)
+			want, err := Run(context.Background(), g, base)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -164,7 +165,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 			for _, workers := range []int{0, 2, 8} {
 				p := base
 				p.Workers = workers
-				got, err := Run(g, p)
+				got, err := Run(context.Background(), g, p)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -262,7 +263,7 @@ func TestRunDeterministicNonUnitAlpha(t *testing.T) {
 	base.Alpha = 3
 	base.Beta = 2.5
 	base.Workers = 1
-	want, err := Run(g, base)
+	want, err := Run(context.Background(), g, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestRunDeterministicNonUnitAlpha(t *testing.T) {
 	for _, workers := range []int{0, 8} {
 		p := base
 		p.Workers = workers
-		got, err := Run(g, p)
+		got, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,7 +306,7 @@ func TestRunConcurrentColonies(t *testing.T) {
 	p := DefaultParams()
 	p.Seed = 5
 	p.Workers = 8
-	want, err := Run(g, p)
+	want, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestRunConcurrentColonies(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := Run(g, p)
+			res, err := Run(context.Background(), g, p)
 			if err != nil {
 				errs[i] = err
 				return
@@ -350,7 +351,7 @@ func TestRunNeverWorseThanLPL(t *testing.T) {
 		lplHW := float64(lpl.Height()) + lpl.WidthIncludingDummies(1)
 		p := DefaultParams()
 		p.Seed = int64(i)
-		res, err := Run(g, p)
+		res, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -369,7 +370,7 @@ func TestRunImprovesOnWideGraphs(t *testing.T) {
 	lpl, _ := longestpath.Layer(g)
 	p := DefaultParams()
 	p.Tours = 20
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestRunImprovesOnWideGraphs(t *testing.T) {
 
 func TestRunEdgeCases(t *testing.T) {
 	// Empty graph.
-	res, err := Run(dag.New(0), DefaultParams())
+	res, err := Run(context.Background(), dag.New(0), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestRunEdgeCases(t *testing.T) {
 		t.Fatal("empty graph result wrong")
 	}
 	// Single vertex.
-	res, err = Run(dag.New(1), DefaultParams())
+	res, err = Run(context.Background(), dag.New(1), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +399,7 @@ func TestRunEdgeCases(t *testing.T) {
 		t.Fatalf("single vertex: layer=%d height=%d", res.Layering.Layer(0), res.Height)
 	}
 	// Edgeless graph: spreading over layers can lower H+W below n+1.
-	res, err = Run(dag.New(9), DefaultParams())
+	res, err = Run(context.Background(), dag.New(9), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ func TestRunEdgeCases(t *testing.T) {
 	// Single edge.
 	g := dag.New(2)
 	g.MustAddEdge(1, 0)
-	res, err = Run(g, DefaultParams())
+	res, err = Run(context.Background(), g, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +418,7 @@ func TestRunEdgeCases(t *testing.T) {
 		t.Fatalf("single edge height = %d", res.Height)
 	}
 	// Path graph: only one layering exists.
-	res, err = Run(graphgen.Path(5), DefaultParams())
+	res, err = Run(context.Background(), graphgen.Path(5), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestRunCyclicInput(t *testing.T) {
 	g := dag.New(2)
 	g.MustAddEdge(0, 1)
 	g.MustAddEdge(1, 0)
-	if _, err := Run(g, DefaultParams()); err == nil {
+	if _, err := Run(context.Background(), g, DefaultParams()); err == nil {
 		t.Fatal("cyclic input accepted")
 	}
 }
@@ -439,7 +440,7 @@ func TestRunInvalidParams(t *testing.T) {
 	g := dag.New(1)
 	p := DefaultParams()
 	p.Rho = 2
-	if _, err := Run(g, p); err == nil {
+	if _, err := Run(context.Background(), g, p); err == nil {
 		t.Fatal("invalid params accepted")
 	}
 }
@@ -453,7 +454,7 @@ func TestRunMaxLayersCap(t *testing.T) {
 	lpl, _ := longestpath.Layer(g)
 	p := DefaultParams()
 	p.MaxLayers = lpl.NumLayers() + 2
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,7 +497,7 @@ func TestTourHistoryMonotoneBest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(g, DefaultParams())
+	res, err := Run(context.Background(), g, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,7 +525,7 @@ func TestPheromoneConcentrationRises(t *testing.T) {
 	}
 	p := DefaultParams()
 	p.Tours = 12
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +541,7 @@ func TestPheromoneConcentrationRises(t *testing.T) {
 
 func TestLayerConvenience(t *testing.T) {
 	g := graphgen.Path(3)
-	l, err := Layer(g, DefaultParams())
+	l, err := Layer(context.Background(), g, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

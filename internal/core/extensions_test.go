@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestTauBoundsKeepResultValid(t *testing.T) {
 	}
 	p := DefaultParams()
 	p.TauMin, p.TauMax = 0.1, 5
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestEarlyStopping(t *testing.T) {
 	p := DefaultParams()
 	p.Tours = 50
 	p.StopAfterStagnantTours = 3
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestEarlyStoppingDisabledRunsAllTours(t *testing.T) {
 	g := graphgen.Path(4)
 	p := DefaultParams()
 	p.Tours = 7
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,12 @@
 // tour's best ant deposits pheromone on its assignments, and its layering
 // becomes the base layering of the next tour. The objective maximised is
 // f = 1/(H+W): compact layerings of small height plus width.
+//
+// Runs are cancellable: Layer, Run and Colony.RunContext take a
+// context.Context and stop within one ant walk per worker of it being
+// cancelled (see RunContext). A run that is not cancelled is unaffected by
+// the context — the layering stays a pure, bitwise-deterministic function
+// of Params.
 package core
 
 import (
@@ -175,6 +181,9 @@ type Params struct {
 	// every ant's RNG is derived independently from (Seed, tour, ant
 	// index), the pheromone matrix is frozen while a tour's ants walk,
 	// and evaporation/deposit are applied after the pool's barrier.
+	// Context cancellation (Colony.RunContext) is checked per ant walk on
+	// every worker, so a cancelled colony stops within one walk per
+	// worker regardless of this setting.
 	Workers int
 	// Seed seeds the run: all ant RNGs are derived from it. Runs with
 	// equal Params are reproducible.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestColonyLargeGraph(t *testing.T) {
 	p.Ants = 6
 	p.Tours = 4
 	p.Workers = 4
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestColonyManySmallGraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(g, p)
+		res, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatal(err)
 		}

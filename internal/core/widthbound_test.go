@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestWidthBoundNeverExceededByMoves(t *testing.T) {
 		bound := lpl.WidthIncludingDummies(1) // achievable: the seed obeys it
 		p := DefaultParams()
 		p.WidthBound = bound
-		res, err := Run(g, p)
+		res, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestWidthBoundTightBoundStillValid(t *testing.T) {
 	}
 	p := DefaultParams()
 	p.WidthBound = 0.5 // below any single vertex width
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestWidthBoundNarrowsResult(t *testing.T) {
 	p := DefaultParams()
 	p.Tours = 15
 	p.WidthBound = 4
-	bounded, err := Run(g, p)
+	bounded, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestWidthBoundUnreachableOnStar(t *testing.T) {
 	g := graphgen.CompleteBipartite(1, 10)
 	p := DefaultParams()
 	p.WidthBound = 4
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -199,6 +199,23 @@ func ReadEdgeList(r io.Reader) (*dag.Graph, error) {
 	return g, nil
 }
 
+// ReadEdgeListNamed is ReadEdgeList plus the v<N> name synthesis shared
+// by every consumer that renders or reports vertices: edge lists carry no
+// names, so vertex v is named (and labelled) "v<N>", the same fallback
+// Write uses.
+func ReadEdgeListNamed(r io.Reader) (*dag.Graph, []string, error) {
+	g, err := ReadEdgeList(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, g.N())
+	for v := range names {
+		names[v] = fmt.Sprintf("v%d", v)
+		g.SetLabel(v, names[v])
+	}
+	return g, names, nil
+}
+
 func nextLine(sc *bufio.Scanner) (string, error) {
 	for sc.Scan() {
 		s := strings.TrimSpace(sc.Text())

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -120,7 +121,7 @@ func TestMinimizeLowerBoundsHeuristics(t *testing.T) {
 		if res.Objective > lplObj+1e-9 {
 			t.Fatalf("exact %g worse than LPL %g", res.Objective, lplObj)
 		}
-		aco, err := core.Layer(g, core.DefaultParams())
+		aco, err := core.Layer(context.Background(), g, core.DefaultParams())
 		if err != nil {
 			t.Fatal(err)
 		}

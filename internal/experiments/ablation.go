@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -78,7 +79,7 @@ func RunAblation(opts Options, variants []AblationVariant) ([]AblationResult, er
 				p := opts.ACO
 				v.Mutate(&p)
 				p.Seed = opts.ACO.Seed + seed
-				return core.Layer(g, p)
+				return core.Layer(context.Background(), g, p)
 			},
 		})
 	}

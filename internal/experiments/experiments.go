@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -162,7 +163,7 @@ func StandardAlgorithms(opts Options) []Algorithm {
 		{NameAntColony, func(g *dag.Graph, seed int64) (*layering.Layering, error) {
 			p := opts.ACO
 			p.Seed = acoSeed + seed
-			return core.Layer(g, p)
+			return core.Layer(context.Background(), g, p)
 		}},
 	}
 }

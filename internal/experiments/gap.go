@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -57,7 +58,7 @@ func GapStudy(n, instances int, seed int64) ([]GapResult, error) {
 			p := acoParams
 			p.Seed++
 			acoParams = p
-			return core.Layer(g, p)
+			return core.Layer(context.Background(), g, p)
 		}},
 	}
 	gaps := make(map[string][]float64, len(heuristics))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -41,7 +42,7 @@ func AlphaBetaStudy(opts Options, alphas, betas []float64) ([]TuningCell, error)
 				for gi, g := range group.Graphs {
 					p.Seed = opts.ACO.Seed + int64(gi) + int64(group.Vertices)*1000
 					start := time.Now()
-					res, err := core.Run(g, p)
+					res, err := core.Run(context.Background(), g, p)
 					if err != nil {
 						return nil, fmt.Errorf("experiments: alpha-beta (%g,%g): %w", a, b, err)
 					}
@@ -118,7 +119,7 @@ func NdWidthStudy(opts Options, values []float64) ([]NdWidthCell, error) {
 			for gi, g := range group.Graphs {
 				p.Seed = opts.ACO.Seed + int64(gi) + int64(group.Vertices)*1000
 				start := time.Now()
-				res, err := core.Run(g, p)
+				res, err := core.Run(context.Background(), g, p)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: nd_width %g: %w", nd, err)
 				}

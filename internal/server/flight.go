@@ -1,0 +1,50 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent identical requests (single-flight):
+// the first request for a cache key becomes the leader and computes;
+// followers that arrive while it runs wait for its result instead of
+// burning duplicate colony runs on identical, deterministic work.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress computation. body/err are written by the
+// leader before done is closed and read by waiters only after.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join registers the caller under key: the first caller becomes the
+// leader and must call finish exactly once; later callers get the
+// existing flight to wait on.
+func (g *flightGroup) join(key string) (leader bool, fl *flight) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.m[key]; ok {
+		return false, fl
+	}
+	fl = &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	return true, fl
+}
+
+// finish publishes the leader's outcome and wakes the waiters. A leader
+// that succeeded must have stored the body in the result cache *before*
+// calling finish — that ordering is what lets a late request that finds
+// neither a cached body nor a flight conclude the work truly isn't done.
+func (g *flightGroup) finish(key string, fl *flight, body []byte, err error) {
+	fl.body, fl.err = body, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+}

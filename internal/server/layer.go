@@ -1,0 +1,210 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+
+	"antlayer"
+	"antlayer/internal/dot"
+)
+
+// renderMode selects the optional drawing embedded in a /layer response.
+type renderMode string
+
+const (
+	renderNone  renderMode = "none"
+	renderSVG   renderMode = "svg"
+	renderASCII renderMode = "ascii"
+)
+
+// layerRequest is a fully parsed and validated /layer request: everything
+// that determines the response body, plus the per-request timeout (which
+// deliberately does not).
+type layerRequest struct {
+	format     string // dot | edges
+	algo       string // aco | lpl | minwidth | cg | ns
+	promote    bool
+	render     renderMode
+	dummyWidth float64
+	cgWidth    int
+	aco        antlayer.ACOParams
+	timeout    time.Duration // 0 = server default
+}
+
+// parseLayerQuery decodes the query parameters of a /layer request.
+// Unknown parameters are rejected so that typos ("tuors=100") fail loudly
+// instead of silently running with defaults.
+func parseLayerQuery(q url.Values) (layerRequest, error) {
+	req := layerRequest{
+		format:     "dot",
+		algo:       "aco",
+		render:     renderNone,
+		dummyWidth: 1,
+		cgWidth:    4,
+		aco:        antlayer.DefaultACOParams(),
+	}
+	var err error
+	for key, vals := range q {
+		v := vals[len(vals)-1]
+		switch key {
+		case "format":
+			req.format = v
+		case "algo":
+			req.algo = v
+		case "promote":
+			req.promote, err = strconv.ParseBool(v)
+		case "render":
+			req.render = renderMode(v)
+		case "dummy-width":
+			req.dummyWidth, err = strconv.ParseFloat(v, 64)
+		case "cg-width":
+			req.cgWidth, err = strconv.Atoi(v)
+		case "ants":
+			req.aco.Ants, err = strconv.Atoi(v)
+		case "tours":
+			req.aco.Tours, err = strconv.Atoi(v)
+		case "alpha":
+			req.aco.Alpha, err = strconv.ParseFloat(v, 64)
+		case "beta":
+			req.aco.Beta, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			req.aco.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "workers":
+			req.aco.Workers, err = strconv.Atoi(v)
+		case "stop-stagnant":
+			req.aco.StopAfterStagnantTours, err = strconv.Atoi(v)
+		case "width-bound":
+			req.aco.WidthBound, err = strconv.ParseFloat(v, 64)
+		case "timeout-ms":
+			var ms int64
+			ms, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && ms <= 0 {
+				err = fmt.Errorf("must be positive")
+			}
+			req.timeout = time.Duration(ms) * time.Millisecond
+		default:
+			return req, fmt.Errorf("unknown query parameter %q", key)
+		}
+		if err != nil {
+			return req, fmt.Errorf("query parameter %s=%q: %v", key, v, err)
+		}
+	}
+	switch req.format {
+	case "dot", "edges":
+	default:
+		return req, fmt.Errorf("unknown format %q (want dot|edges)", req.format)
+	}
+	switch req.algo {
+	case "aco", "lpl", "minwidth", "cg", "ns":
+	default:
+		return req, fmt.Errorf("unknown algo %q (want aco|lpl|minwidth|cg|ns)", req.algo)
+	}
+	switch req.render {
+	case renderNone, renderSVG, renderASCII:
+	default:
+		return req, fmt.Errorf("unknown render %q (want none|svg|ascii)", req.render)
+	}
+	req.aco.DummyWidth = req.dummyWidth
+	return req, nil
+}
+
+// parseGraph decodes the request body in the request's format, returning
+// the graph and a per-vertex name slice (synthesised v<N> names for edge
+// lists, which carry none).
+func parseGraph(req layerRequest, body io.Reader) (*antlayer.Graph, []string, error) {
+	switch req.format {
+	case "edges":
+		return dot.ReadEdgeListNamed(body)
+	default: // "dot", enforced by parseLayerQuery
+		return antlayer.ReadDOT(body)
+	}
+}
+
+// requestKey is the cache key: a hash over the canonical form of the graph
+// (vertex count, per-vertex width and name, edges sorted by endpoint) and
+// every parameter that determines the response body.
+//
+// Two fields are deliberately excluded. Workers: the layering is
+// bitwise-identical at any worker count (PR 1), so requests differing only
+// in parallelism share a result. Timeout: it bounds the computation but
+// does not parameterise it.
+//
+// Edge order is canonicalised, so the same graph serialised in two edge
+// orders maps to one entry. Layer-width accumulation is floating-point and
+// per-edge-order, so the two serialisations could in principle produce
+// different (equally valid) layerings when computed from scratch; the
+// cache pins whichever was computed first, which keeps responses stable —
+// a feature, not a loss.
+func requestKey(req layerRequest, g *antlayer.Graph, names []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "g n=%d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(h, "v %d w=%g name=%q\n", v, g.Width(v), names[v])
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		fmt.Fprintf(h, "e %d %d\n", e.U, e.V)
+	}
+	aco := req.aco
+	aco.Workers = 0
+	fmt.Fprintf(h, "p algo=%s promote=%t render=%s dummyWidth=%g cgWidth=%d aco=%+v\n",
+		req.algo, req.promote, req.render, req.dummyWidth, req.cgWidth, aco)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// layerResponse is the JSON document /layer serves. Field order is fixed
+// by the struct, so equal computations marshal to equal bytes — the
+// property the cache-hit determinism test pins.
+type layerResponse struct {
+	Algo    string    `json:"algo"`
+	Promote bool      `json:"promote"`
+	Graph   graphInfo `json:"graph"`
+	Metrics layerInfo `json:"metrics"`
+	// Objective, BestTour and ToursRun are reported for algo=aco only:
+	// the colony's f = 1/(H+W) before promotion, the tour that found the
+	// best walk (0 = the LPL seed stood — a meaningful value, hence the
+	// pointer: omitempty would swallow it), and the tours actually run
+	// (early stopping can end the run before the configured count).
+	Objective float64    `json:"objective,omitempty"`
+	BestTour  *int       `json:"best_tour,omitempty"`
+	ToursRun  int        `json:"tours_run,omitempty"`
+	Layers    [][]string `json:"layers"`
+	SVG       string     `json:"svg,omitempty"`
+	ASCII     string     `json:"ascii,omitempty"`
+}
+
+type graphInfo struct {
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+}
+
+// layerInfo mirrors the paper's five evaluation criteria (§VII).
+type layerInfo struct {
+	Height      int     `json:"height"`
+	WidthIncl   float64 `json:"width_incl"`
+	WidthExcl   float64 `json:"width_excl"`
+	DummyCount  int     `json:"dummy_count"`
+	EdgeDensity int     `json:"edge_density"`
+}
+
+// fixedLayering adapts an already-computed layering to the Layerer
+// interface so the Sugiyama pipeline renders it instead of re-running the
+// algorithm (the pipeline clones acyclic inputs and normalizes the
+// layering in place, hence the clone).
+type fixedLayering struct{ l *antlayer.Layering }
+
+func (f fixedLayering) Layer(*antlayer.Graph) (*antlayer.Layering, error) {
+	return f.l.Clone(), nil
+}

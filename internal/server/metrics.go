@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent /layer latencies the quantile estimates
+// are computed over.
+const latencyWindow = 1024
+
+// serverMetrics aggregates the daemon's observability counters. All
+// counters are monotonically increasing except inFlight (a gauge). Each
+// Server owns its metrics instance, so tests can run many servers in one
+// process — the reason these are plain atomics instead of package-global
+// expvar registrations, which panic on re-registration.
+type serverMetrics struct {
+	start time.Time
+
+	requests      atomic.Int64 // every HTTP request the mux saw
+	layerRequests atomic.Int64 // POST /layer requests
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64 // computed-and-stored bodies, not failed lookups
+	coalesced     atomic.Int64 // requests served by an identical in-flight compute
+	errors        atomic.Int64 // /layer requests answered with a 4xx/5xx
+	timeouts      atomic.Int64 // /layer requests answered 504
+	toursRun      atomic.Int64 // colony tours executed (cache hits run zero)
+	inFlight      atomic.Int64 // /layer requests currently being computed
+
+	mu       sync.Mutex
+	latRing  [latencyWindow]time.Duration // recent /layer latencies
+	latNext  int
+	latCount int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{start: time.Now()}
+}
+
+// observeLatency records one /layer request duration (hits and misses
+// alike: the hit/miss split is what makes the p50 interesting).
+func (m *serverMetrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latRing[m.latNext] = d
+	m.latNext = (m.latNext + 1) % latencyWindow
+	m.latCount++
+	m.mu.Unlock()
+}
+
+// quantiles returns nearest-rank p50 and p99 over the retained window, in
+// milliseconds.
+func (m *serverMetrics) quantiles() (count int64, p50, p99 float64) {
+	m.mu.Lock()
+	n := int(m.latCount)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, m.latRing[:n])
+	count = m.latCount
+	m.mu.Unlock()
+	if n == 0 {
+		return count, 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	rank := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return float64(buf[i].Nanoseconds()) / 1e6
+	}
+	return count, rank(0.50), rank(0.99)
+}
+
+// MetricsSnapshot is the JSON document /metrics serves. CacheMisses
+// counts computed-and-stored responses — a request that fails or times
+// out before producing a body is counted under Errors/Timeouts only — so
+// CacheHitRate (hits / (hits + misses)) describes serviceable traffic.
+// Coalesced counts requests answered by an identical concurrent
+// computation (single-flight); they ran no colony and sit outside the
+// hit/miss split.
+type MetricsSnapshot struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	RequestsTotal int64           `json:"requests_total"`
+	LayerRequests int64           `json:"layer_requests"`
+	CacheHits     int64           `json:"cache_hits"`
+	CacheMisses   int64           `json:"cache_misses"`
+	CacheHitRate  float64         `json:"cache_hit_rate"`
+	CacheEntries  int             `json:"cache_entries"`
+	Coalesced     int64           `json:"coalesced"`
+	Errors        int64           `json:"errors"`
+	Timeouts      int64           `json:"timeouts"`
+	ToursRun      int64           `json:"tours_run"`
+	InFlight      int64           `json:"in_flight"`
+	Latency       LatencyQuantile `json:"latency_ms"`
+}
+
+// LatencyQuantile summarises the recent /layer latency distribution.
+type LatencyQuantile struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+func (m *serverMetrics) snapshot(cacheEntries int) MetricsSnapshot {
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	count, p50, p99 := m.quantiles()
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		RequestsTotal: m.requests.Load(),
+		LayerRequests: m.layerRequests.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheHitRate:  rate,
+		CacheEntries:  cacheEntries,
+		Coalesced:     m.coalesced.Load(),
+		Errors:        m.errors.Load(),
+		Timeouts:      m.timeouts.Load(),
+		ToursRun:      m.toursRun.Load(),
+		InFlight:      m.inFlight.Load(),
+		Latency:       LatencyQuantile{Count: count, P50: p50, P99: p99},
+	}
+}

@@ -1,0 +1,415 @@
+// Package server exposes the layering algorithms as a long-running HTTP
+// service: POST a DOT or edge-list graph to /layer and get the layering,
+// the paper's quality metrics and optionally an SVG/ASCII drawing back as
+// JSON.
+//
+// The daemon is built for repeated heavy traffic:
+//
+//   - Results are cached in an LRU keyed by the canonical (graph, params)
+//     hash. Colony runs are bitwise-deterministic (PR 1), so a hit returns
+//     exactly the bytes a recomputation would produce — repeated graphs
+//     are free.
+//   - A semaphore bounds the number of concurrently computing requests;
+//     waiting requests hold no worker resources and honour their deadline
+//     while queued.
+//   - Every request runs under a deadline (server default, per-request
+//     override, hard cap) threaded into the colony's tour loop via
+//     context.Context; an expired deadline aborts the run within one ant
+//     walk per worker and answers 504.
+//   - /healthz for liveness, /metrics for counters (requests, cache hit
+//     rate, tours run, p50/p99 latency), graceful shutdown via Serve's
+//     context.
+//
+// Start it with `daglayer serve`.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"antlayer"
+)
+
+// Config tunes the daemon. The zero value is usable: every field falls
+// back to the documented default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe. Default ":8645".
+	Addr string
+	// CacheSize is the LRU capacity in responses. 0 means the default
+	// (256); negative disables caching.
+	CacheSize int
+	// MaxConcurrent bounds the /layer requests computing at once; further
+	// requests queue (holding no CPU) until a slot or their deadline.
+	// 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// DefaultTimeout bounds a /layer request that sends no timeout-ms.
+	// Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout-ms override. Default 2m.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body. Default 8 MiB.
+	MaxBodyBytes int64
+	// ShutdownGrace bounds how long Serve waits for in-flight requests
+	// after its context is cancelled. Default 10s.
+	ShutdownGrace time.Duration
+	// Log receives one line per /layer request. Nil discards.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8645"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the layering daemon. Create with New, mount via Handler, or
+// run with Serve/ListenAndServe.
+type Server struct {
+	cfg     Config
+	cache   *resultCache
+	flights *flightGroup
+	metrics *serverMetrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+	// shuttingDown flips when Serve begins graceful shutdown, so aborted
+	// in-flight requests are answered 503 rather than blamed on the client.
+	shuttingDown atomic.Bool
+}
+
+// New builds a Server from cfg (zero value fine; see Config).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		metrics: newServerMetrics(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/layer", s.handleLayer)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// ShutdownGrace to finish, and any request still computing after the grace
+// period has its context cancelled so the colony aborts instead of running
+// to its own deadline. It returns nil after a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Request contexts descend from base, so cancelling it aborts every
+	// in-flight colony (the tour loop observes the context; see
+	// core.Colony.RunContext).
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return base },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.shuttingDown.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	cancelBase() // abort whatever outlived the grace period
+	if err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after Shutdown
+	return nil
+}
+
+// ListenAndServe listens on Config.Addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.logf("listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}
+
+// Metrics returns a point-in-time snapshot of the daemon's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.metrics.snapshot(s.cache.Len())
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Metrics())
+}
+
+// httpError answers status with a plain-text message and counts it.
+func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.errors.Add(1)
+	if status == http.StatusGatewayTimeout {
+		s.metrics.timeouts.Add(1)
+	}
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+// handleLayer is the daemon's main endpoint: parse, consult the cache,
+// otherwise compute under the semaphore and the request deadline.
+func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.httpError(w, http.StatusMethodNotAllowed, "POST a DOT or edge-list graph to /layer")
+		return
+	}
+	s.metrics.layerRequests.Add(1)
+	start := time.Now()
+	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+
+	req, err := parseLayerQuery(r.URL.Query())
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	g, names, err := parseGraph(req, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "graph larger than %d bytes", tooLarge.Limit)
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, "bad %s input: %v", req.format, err)
+		return
+	}
+
+	key := requestKey(req, g, names)
+	w.Header().Set("X-Cache-Key", key)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.timeout > 0 {
+		timeout = req.timeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Cache, then single-flight: if an identical request is already
+	// computing, wait for its result instead of running a duplicate
+	// colony. A successful leader stores to the cache before releasing
+	// its flight, so a new leader's re-check through this loop cannot
+	// miss a completed result.
+	var fl *flight
+	for {
+		if body, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			s.logf("layer hit  n=%d m=%d algo=%s %s", g.N(), g.M(), req.algo, time.Since(start).Round(time.Microsecond))
+			s.writeBody(w, body, "hit")
+			return
+		}
+		var leader bool
+		leader, fl = s.flights.join(key)
+		if leader {
+			break
+		}
+		select {
+		case <-fl.done:
+			if fl.err == nil {
+				s.metrics.coalesced.Add(1)
+				s.logf("layer coalesced n=%d m=%d algo=%s %s", g.N(), g.M(), req.algo, time.Since(start).Round(time.Microsecond))
+				s.writeBody(w, fl.body, "coalesced")
+				return
+			}
+			// The leader failed — possibly on a deadline shorter than
+			// ours. Loop: re-check the cache, then try leading.
+		case <-ctx.Done():
+			s.deadlineError(w, r, ctx.Err(), "waiting on an identical in-flight request")
+			return
+		}
+	}
+
+	// The semaphore bounds computation, not connections: a queued request
+	// costs one blocked goroutine and still honours its deadline.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.flights.finish(key, fl, nil, ctx.Err())
+		s.deadlineError(w, r, ctx.Err(), "queued for a compute slot")
+		return
+	}
+
+	s.metrics.inFlight.Add(1)
+	body, err := s.compute(ctx, req, g, names)
+	s.metrics.inFlight.Add(-1)
+	if err != nil {
+		s.flights.finish(key, fl, nil, err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.deadlineError(w, r, err, "computing")
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, "layering failed: %v", err)
+		return
+	}
+	s.cache.Put(key, body)
+	// The miss is counted only now, when a body was computed and stored:
+	// the hit rate then describes serviceable traffic, undistorted by
+	// requests that failed or timed out before producing anything.
+	s.metrics.cacheMisses.Add(1)
+	s.flights.finish(key, fl, body, nil)
+	s.logf("layer miss n=%d m=%d algo=%s %s", g.N(), g.M(), req.algo, time.Since(start).Round(time.Microsecond))
+	s.writeBody(w, body, "miss")
+}
+
+// deadlineError maps a context error: 504 when the request's deadline
+// passed, 503 when a graceful shutdown aborted the work, and otherwise —
+// the client itself vanished mid-request — 499 in the nginx convention.
+func (s *Server) deadlineError(w http.ResponseWriter, r *http.Request, err error, stage string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.httpError(w, http.StatusGatewayTimeout, "deadline exceeded while %s", stage)
+	case s.shuttingDown.Load():
+		s.httpError(w, http.StatusServiceUnavailable, "server shutting down while %s", stage)
+	default:
+		s.httpError(w, 499, "client closed request while %s", stage)
+	}
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheStatus)
+	_, _ = w.Write(body)
+}
+
+// compute runs the requested algorithm under ctx and marshals the
+// response. Only the ACO path is long enough to be cancellable; the
+// polynomial algorithms run to completion well inside any sane deadline.
+func (s *Server) compute(ctx context.Context, req layerRequest, g *antlayer.Graph, names []string) ([]byte, error) {
+	resp := layerResponse{
+		Algo:    req.algo,
+		Promote: req.promote,
+		Graph:   graphInfo{Vertices: g.N(), Edges: g.M()},
+	}
+	var l *antlayer.Layering
+	if req.algo == "aco" {
+		res, err := antlayer.AntColonyRunContext(ctx, g, req.aco)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.toursRun.Add(int64(len(res.History)))
+		l = res.Layering
+		if req.promote {
+			l = antlayer.Promote(l)
+		}
+		resp.Objective = res.Objective
+		bestTour := res.BestTour
+		resp.BestTour = &bestTour
+		resp.ToursRun = len(res.History)
+	} else {
+		layerer, err := antlayer.LayererByName(ctx, req.algo, req.dummyWidth, req.cgWidth, req.aco)
+		if err != nil {
+			return nil, err
+		}
+		if req.promote {
+			layerer = antlayer.WithPromotion(layerer)
+		}
+		l, err = layerer.Layer(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := l.ComputeMetrics(req.dummyWidth)
+	resp.Metrics = layerInfo{
+		Height:      m.Height,
+		WidthIncl:   m.WidthIncl,
+		WidthExcl:   m.WidthExcl,
+		DummyCount:  m.DummyCount,
+		EdgeDensity: m.EdgeDensity,
+	}
+	resp.Layers = make([][]string, 0, len(l.Layers()))
+	for _, layer := range l.Layers() {
+		row := make([]string, len(layer))
+		for i, v := range layer {
+			row[i] = names[v]
+		}
+		resp.Layers = append(resp.Layers, row)
+	}
+
+	if req.render != renderNone {
+		d, err := antlayer.Draw(g, fixedLayering{l}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("render: %w", err)
+		}
+		var buf bytes.Buffer
+		switch req.render {
+		case renderSVG:
+			err = d.WriteSVG(&buf)
+			resp.SVG = buf.String()
+		case renderASCII:
+			err = d.WriteASCII(&buf)
+			resp.ASCII = buf.String()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("render: %w", err)
+		}
+	}
+
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
