@@ -9,6 +9,7 @@ import (
 	"antlayer/internal/core"
 	"antlayer/internal/dag"
 	"antlayer/internal/dot"
+	"antlayer/internal/island"
 	"antlayer/internal/layering"
 	"antlayer/internal/longestpath"
 	"antlayer/internal/minwidth"
@@ -42,6 +43,14 @@ type ACOParams = core.Params
 // ACOResult is the full outcome of a colony run including per-tour history.
 type ACOResult = core.Result
 
+// IslandParams configures the island-model multi-colony search (see
+// DefaultIslandParams and internal/island for the topology).
+type IslandParams = island.Params
+
+// IslandResult is the full outcome of an island run: the winning island's
+// colony result plus per-island statistics.
+type IslandResult = island.Result
+
 // MinWidthParams configures a single MinWidth run.
 type MinWidthParams = minwidth.Params
 
@@ -72,6 +81,14 @@ func NewGraph(n int) *Graph { return dag.New(n) }
 // pure function of the parameters: the same Seed yields the same layering
 // at any worker count (see README.md "Parallelism").
 func DefaultACOParams() ACOParams { return core.DefaultParams() }
+
+// DefaultIslandParams returns the default archipelago: 4 islands running
+// DefaultACOParams colonies with elite migration around the ring every 2
+// tours. Like the single colony, an island run is a pure function of its
+// parameters — bitwise-identical at any worker count — because each
+// island's seed is derived SplitMix64-style from (Seed, island) and
+// migration happens only at barriers.
+func DefaultIslandParams() IslandParams { return island.DefaultParams() }
 
 // Layerer is a layering algorithm. All constructors below return one.
 type Layerer interface {
@@ -121,25 +138,68 @@ func NetworkSimplexBalanced() Layerer {
 	return layererFunc(func(g *Graph) (*Layering, error) { return netsimplex.LayerBalanced(g, true) })
 }
 
-// LayererByName returns the layering algorithm with the given short name —
-// the vocabulary shared by cmd/daglayer and the HTTP daemon: "aco" (the
-// paper's ant colony, configured by aco and bounded by ctx), "lpl"
-// (LongestPath), "minwidth" (MinWidthBest at dummyWidth), "cg"
-// (CoffmanGraham at cgWidth) or "ns" (NetworkSimplex).
-func LayererByName(ctx context.Context, name string, dummyWidth float64, cgWidth int, aco ACOParams) (Layerer, error) {
+// Options bundles every per-algorithm knob LayererByName needs — the
+// vocabulary shared by cmd/daglayer and the HTTP daemon. Zero values fall
+// back to the documented defaults; ACO must be a valid parameter set (start
+// from DefaultACOParams) for the "aco" and "island" algorithms.
+type Options struct {
+	// DummyWidth is the dummy-vertex width used by "minwidth". 0 means 1.
+	DummyWidth float64
+	// CGWidth is the real-vertex width bound of "cg". 0 means 4.
+	CGWidth int
+	// ACO configures the colony of "aco" and every island of "island".
+	ACO ACOParams
+	// Islands is the colony count of "island". 0 means the
+	// DefaultIslandParams count.
+	Islands int
+	// MigrationInterval is the tours between elite migrations of
+	// "island". 0 means the DefaultIslandParams interval.
+	MigrationInterval int
+}
+
+// IslandOf assembles the island parameters the "island" algorithm runs
+// with: the ACO colony under the archipelago described by Islands and
+// MigrationInterval, defaults applied.
+func (o Options) IslandOf() IslandParams {
+	p := DefaultIslandParams()
+	p.Colony = o.ACO
+	if o.Islands > 0 {
+		p.Islands = o.Islands
+	}
+	if o.MigrationInterval > 0 {
+		p.MigrationInterval = o.MigrationInterval
+	}
+	return p
+}
+
+// LayererByName returns the layering algorithm with the given short name:
+// "aco" (the paper's ant colony, configured by opts.ACO and bounded by
+// ctx), "island" (the island-model multi-colony search over opts.ACO
+// colonies, also bounded by ctx), "lpl" (LongestPath), "minwidth"
+// (MinWidthBest at opts.DummyWidth), "cg" (CoffmanGraham at opts.CGWidth)
+// or "ns" (NetworkSimplex).
+func LayererByName(ctx context.Context, name string, opts Options) (Layerer, error) {
+	if opts.DummyWidth == 0 {
+		opts.DummyWidth = 1
+	}
+	if opts.CGWidth == 0 {
+		opts.CGWidth = 4
+	}
 	switch name {
 	case "aco":
-		return AntColonyContext(ctx, aco), nil
+		return AntColonyContext(ctx, opts.ACO), nil
+	case "island":
+		return IslandColonyContext(ctx, opts.IslandOf()), nil
 	case "lpl":
 		return LongestPath(), nil
 	case "minwidth":
-		return MinWidthBest(dummyWidth), nil
+		return MinWidthBest(opts.DummyWidth), nil
 	case "cg":
-		return CoffmanGraham(cgWidth), nil
+		return CoffmanGraham(opts.CGWidth), nil
 	case "ns":
 		return NetworkSimplex(), nil
 	}
-	return nil, fmt.Errorf("antlayer: unknown algorithm %q (want aco|lpl|minwidth|cg|ns)", name)
+	return nil, fmt.Errorf("antlayer: unknown algorithm %q (want aco|island|lpl|minwidth|cg|ns)", name)
 }
 
 // AntColony returns the paper's ACO layering algorithm. The run cannot be
@@ -168,6 +228,32 @@ func AntColonyRun(g *Graph, p ACOParams) (*ACOResult, error) {
 // for the cancellation semantics.
 func AntColonyRunContext(ctx context.Context, g *Graph, p ACOParams) (*ACOResult, error) {
 	return core.Run(ctx, g, p)
+}
+
+// IslandColony returns the island-model multi-colony layering algorithm:
+// p.Islands cooperating colonies with elite ring migration every
+// p.MigrationInterval tours (see IslandParams). The run cannot be
+// cancelled; use IslandColonyContext to bound it by a context.
+func IslandColony(p IslandParams) Layerer {
+	return IslandColonyContext(context.Background(), p)
+}
+
+// IslandColonyContext is IslandColony with every run bounded by ctx; the
+// cancellation semantics are those of AntColonyContext, applied to every
+// island.
+func IslandColonyContext(ctx context.Context, p IslandParams) Layerer {
+	return layererFunc(func(g *Graph) (*Layering, error) { return island.Layer(ctx, g, p) })
+}
+
+// IslandColonyRun runs the archipelago and returns the full result
+// including the winning island and per-island statistics.
+func IslandColonyRun(g *Graph, p IslandParams) (*IslandResult, error) {
+	return IslandColonyRunContext(context.Background(), g, p)
+}
+
+// IslandColonyRunContext is IslandColonyRun bounded by ctx.
+func IslandColonyRunContext(ctx context.Context, g *Graph, p IslandParams) (*IslandResult, error) {
+	return island.Run(ctx, g, p)
 }
 
 // WithPromotion wraps a layerer with the Promote Layering heuristic of

@@ -319,6 +319,32 @@ func BenchmarkAntColonyWorkers1(b *testing.B) { benchmarkAntColonyWorkers(b, 1) 
 func BenchmarkAntColonyWorkers4(b *testing.B) { benchmarkAntColonyWorkers(b, 4) }
 func BenchmarkAntColonyWorkers8(b *testing.B) { benchmarkAntColonyWorkers(b, 8) }
 
+// BenchmarkIsland pins the island-model archipelago on a fixed 100-vertex
+// graph: 4 islands × 4 tours of 8 ants with a migration every 2 tours,
+// sequential colonies so the measurement isolates the island machinery
+// (stepping, barriers, elite migration) rather than the tour worker pool.
+// It is part of the CI benchmark-regression gate alongside the walk and
+// worker benchmarks.
+func BenchmarkIsland(b *testing.B) {
+	rng := rand.New(rand.NewSource(100))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(100), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultIslandParams()
+	p.Colony.Ants = 8
+	p.Colony.Tours = 4
+	p.Colony.Workers = 1
+	p.Islands = 4
+	p.MigrationInterval = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IslandColonyRun(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkColonyScaling measures one colony run across graph sizes and
 // worker counts (the repository's parallel-execution extension).
 func BenchmarkColonyScaling(b *testing.B) {

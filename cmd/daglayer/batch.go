@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"antlayer"
+	"antlayer/internal/batch"
+	"antlayer/internal/server"
+)
+
+// runBatch implements `daglayer batch <dir>`: layer every .dot and .edges
+// file in the directory concurrently on a bounded job queue and write one
+// JSON result per input — the same body the HTTP daemon's /layer (and a
+// done /jobs/{id}) serves, so downstream tooling parses one shape
+// everywhere. Interrupting the run (Ctrl-C) cancels the in-flight
+// colonies; already-written results stay on disk.
+func runBatch(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("daglayer batch", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: daglayer batch [flags] <dir>
+
+Layers every .dot and .edges file in <dir> concurrently and writes a
+<name>.json result per input (the same JSON the HTTP daemon serves).
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	var (
+		out        = fs.String("out", "", "output directory (default: the input directory)")
+		jobs       = fs.Int("jobs", 0, "concurrent layering jobs (0 = all CPUs)")
+		timeout    = fs.Duration("timeout", 0, "per-file deadline (0 = none)")
+		algo       = fs.String("algo", "aco", "layering algorithm: aco|island|lpl|minwidth|cg|ns")
+		doPromote  = fs.Bool("promote", false, "apply the Promote Layering post-processing step")
+		dummyWidth = fs.Float64("dummy-width", 1.0, "width of a dummy vertex (nd_width)")
+		ants       = fs.Int("ants", 10, "aco: colony size")
+		tours      = fs.Int("tours", 10, "aco: number of tours")
+		alpha      = fs.Float64("alpha", 1, "aco: pheromone exponent")
+		beta       = fs.Float64("beta", 3, "aco: heuristic exponent")
+		seed       = fs.Int64("seed", 1, "aco: random seed")
+		workers    = fs.Int("workers", 0, "aco: goroutines per tour (0 = all CPUs)")
+		cgWidth    = fs.Int("cg-width", 4, "cg: maximum real vertices per layer")
+		islands    = fs.Int("islands", 4, "island: number of cooperating colonies")
+		migrate    = fs.Int("migration-interval", 2, "island: tours between elite migrations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("batch wants exactly one directory argument, got %d", fs.NArg())
+	}
+	dir := fs.Arg(0)
+	outDir := *out
+	if outDir == "" {
+		outDir = dir
+	}
+
+	req := server.DefaultRequest()
+	req.Algo = *algo
+	req.Promote = *doPromote
+	req.DummyWidth = *dummyWidth
+	req.CGWidth = *cgWidth
+	req.ACO = buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed)
+	req.Islands = *islands
+	req.MigrationInterval = *migrate
+	// Fail on a bad algorithm name up front, not once per file — and let
+	// LayererByName own the valid-name list instead of keeping a copy.
+	if _, err := antlayer.LayererByName(ctx, req.Algo, antlayer.Options{
+		DummyWidth:        req.DummyWidth,
+		CGWidth:           req.CGWidth,
+		ACO:               req.ACO,
+		Islands:           req.Islands,
+		MigrationInterval: req.MigrationInterval,
+	}); err != nil {
+		return err
+	}
+
+	inputs, err := batchInputs(dir)
+	if err != nil {
+		return err
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("no .dot or .edges files in %s", dir)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	q := batch.New(batch.Config{
+		Workers: *jobs,
+		// The whole work list is submitted up front, so the backlog bound
+		// is the input count — the queue paces the workers, not Submit.
+		Depth:  len(inputs),
+		Retain: len(inputs),
+	})
+	defer q.Close()
+
+	// Cancel the queue's jobs when ctx dies (Ctrl-C): the colonies abort
+	// within one ant walk per worker and the run reports the failures.
+	stop := context.AfterFunc(ctx, func() { q.Close() })
+	defer stop()
+
+	type submission struct {
+		name string
+		job  *batch.Job
+	}
+	subs := make([]submission, 0, len(inputs))
+	for _, name := range inputs {
+		freq := req // copy; Format differs per file
+		if strings.HasSuffix(name, ".dot") {
+			freq.Format = "dot"
+		} else {
+			freq.Format = "edges"
+		}
+		path := filepath.Join(dir, name)
+		j, err := q.Submit(func(jctx context.Context) ([]byte, error) {
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				jctx, cancel = context.WithTimeout(jctx, *timeout)
+				defer cancel()
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			g, names, err := server.ParseGraph(freq, f)
+			if err != nil {
+				return nil, fmt.Errorf("parse: %w", err)
+			}
+			body, _, err := server.Compute(jctx, freq, g, names)
+			return body, err
+		})
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", name, err)
+		}
+		subs = append(subs, submission{name: name, job: j})
+	}
+
+	dest := destNames(inputs)
+	failed := 0
+	for _, sub := range subs {
+		snap, _ := sub.job.Wait(context.Background()) // jobs settle even on cancel
+		switch snap.State {
+		case batch.StateDone:
+			dst := filepath.Join(outDir, dest[sub.name])
+			if err := os.WriteFile(dst, snap.Result, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-30s ok     %s (%s)\n", sub.name, summarize(snap.Result), snap.Finished.Sub(snap.Started).Round(time.Millisecond))
+		default:
+			failed++
+			fmt.Fprintf(stdout, "%-30s FAILED %v\n", sub.name, snap.Err)
+		}
+	}
+	fmt.Fprintf(stdout, "batch: %d/%d layered (algo=%s, %d jobs)\n", len(subs)-failed, len(subs), req.Algo, *jobs)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("batch interrupted: %w", err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d inputs failed", failed, len(subs))
+	}
+	return nil
+}
+
+// destNames maps each input to its result filename: <base>.json, except
+// when two inputs share a base (g1.dot and g1.edges), which keep their
+// full name — g1.dot.json, g1.edges.json — so neither result silently
+// overwrites the other.
+func destNames(inputs []string) map[string]string {
+	bases := map[string]int{}
+	for _, name := range inputs {
+		bases[strings.TrimSuffix(name, filepath.Ext(name))]++
+	}
+	dest := make(map[string]string, len(inputs))
+	for _, name := range inputs {
+		base := strings.TrimSuffix(name, filepath.Ext(name))
+		if bases[base] > 1 {
+			dest[name] = name + ".json"
+		} else {
+			dest[name] = base + ".json"
+		}
+	}
+	return dest
+}
+
+// batchInputs lists the layerable files of dir in sorted order, so runs
+// are reproducible and the result table is stable.
+func batchInputs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".dot", ".edges":
+			inputs = append(inputs, e.Name())
+		}
+	}
+	sort.Strings(inputs)
+	return inputs, nil
+}
+
+// summarize renders the one-line metrics digest of a result body for the
+// progress table.
+func summarize(body []byte) string {
+	var resp struct {
+		Graph   struct{ Vertices, Edges int }
+		Metrics struct {
+			Height    int     `json:"height"`
+			WidthIncl float64 `json:"width_incl"`
+		}
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return "?"
+	}
+	return fmt.Sprintf("n=%d m=%d H=%d W=%.1f",
+		resp.Graph.Vertices, resp.Graph.Edges, resp.Metrics.Height, resp.Metrics.WidthIncl)
+}

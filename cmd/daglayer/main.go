@@ -1,10 +1,12 @@
 // Command daglayer layers DAGs with a chosen algorithm — as a one-shot
-// CLI or as a long-running HTTP daemon.
+// CLI, a directory batch runner, or a long-running HTTP daemon.
 //
 // Usage:
 //
 //	daglayer [layer] [flags]   layer one graph from a DOT file (or stdin)
+//	daglayer batch [flags] dir layer every .dot/.edges file in dir
 //	daglayer serve  [flags]    run the layering HTTP service
+//	daglayer version           print the build version (also: -version)
 //	daglayer help              print this overview
 //
 // One-shot layering reads a graph, reports the paper's quality metrics and
@@ -12,16 +14,25 @@
 //
 //	daglayer -algo aco [-in graph.dot] [-promote] [-svg out.svg] [-ascii]
 //	         [-dummy-width 1.0] [-ants 10] [-tours 10] [-alpha 1] [-beta 3]
-//	         [-seed 1] [-workers 0] [-cg-width 4]
+//	         [-seed 1] [-workers 0] [-cg-width 4] [-islands 4]
+//	         [-migration-interval 2]
 //
-// Algorithms: aco (default), lpl, minwidth, cg (Coffman–Graham), ns
-// (network simplex). Interrupting a run (Ctrl-C) cancels the colony.
+// Algorithms: aco (default), island (multi-colony with elite migration),
+// lpl, minwidth, cg (Coffman–Graham), ns (network simplex). Interrupting
+// a run (Ctrl-C) cancels the colony.
 //
-// The daemon answers POSTed graphs with layering JSON, caches results and
-// bounds every request by a deadline (see internal/server):
+// Batch mode layers a whole directory concurrently on a bounded worker
+// pool and writes one /layer-shaped JSON result per input:
+//
+//	daglayer batch -algo island -jobs 8 -out results/ corpus/n050
+//
+// The daemon answers POSTed graphs with layering JSON (synchronously on
+// /layer, asynchronously via the /jobs queue), caches results and bounds
+// every request by a deadline (see internal/server):
 //
 //	daglayer serve [-addr :8645] [-cache 256] [-max-concurrent 0]
-//	               [-timeout 30s] [-max-timeout 2m] [-quiet]
+//	               [-timeout 30s] [-max-timeout 2m] [-job-workers 0]
+//	               [-job-queue 64] [-job-retention 256] [-quiet]
 package main
 
 import (
@@ -35,14 +46,17 @@ import (
 	"syscall"
 
 	"antlayer"
+	"antlayer/internal/buildinfo"
 	"antlayer/internal/dot"
 )
 
 // modes lists the subcommands for usage and unknown-subcommand errors.
 const modes = `modes:
-  layer   layer one graph and print metrics (default; see 'daglayer layer -h')
-  serve   run the layering HTTP daemon (see 'daglayer serve -h')
-  help    print this overview`
+  layer    layer one graph and print metrics (default; see 'daglayer layer -h')
+  batch    layer every .dot/.edges file in a directory (see 'daglayer batch -h')
+  serve    run the layering HTTP daemon (see 'daglayer serve -h')
+  version  print the build version (also: -version)
+  help     print this overview`
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,12 +74,19 @@ func main() {
 // the mode; anything else is the historical flag-only invocation, which
 // stays the `layer` mode.
 func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && (args[0] == "-version" || args[0] == "--version") {
+		return printVersion(stdout)
+	}
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		switch args[0] {
 		case "layer":
 			return runLayer(ctx, args[1:], stdin, stdout)
+		case "batch":
+			return runBatch(ctx, args[1:], stdout)
 		case "serve":
 			return runServe(ctx, args[1:], stdout)
+		case "version":
+			return printVersion(stdout)
 		case "help":
 			fmt.Fprintf(stdout, "usage: daglayer [mode] [flags]\n\n%s\n", modes)
 			return nil
@@ -74,6 +95,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		}
 	}
 	return runLayer(ctx, args, stdin, stdout)
+}
+
+// printVersion reports how the binary was built — module version, VCS
+// revision and toolchain — the same description the daemon's /healthz
+// serves.
+func printVersion(stdout io.Writer) error {
+	_, err := fmt.Fprintf(stdout, "daglayer %s\n", buildinfo.Get())
+	return err
 }
 
 // buildACO assembles colony parameters from the CLI flags.
@@ -90,17 +119,18 @@ func buildACO(ants, tours, workers int, alpha, beta, dummyWidth float64, seed in
 }
 
 // runComparison layers g with every algorithm and prints one row each.
-func runComparison(ctx context.Context, w io.Writer, g *antlayer.Graph, dummyWidth float64, cgWidth int, aco antlayer.ACOParams) error {
+func runComparison(ctx context.Context, w io.Writer, g *antlayer.Graph, opts antlayer.Options) error {
 	algos := []struct {
 		name string
 		l    antlayer.Layerer
 	}{
 		{"lpl", antlayer.LongestPath()},
 		{"lpl+promote", antlayer.WithPromotion(antlayer.LongestPath())},
-		{"minwidth", antlayer.MinWidthBest(dummyWidth)},
-		{fmt.Sprintf("cg(w=%d)", cgWidth), antlayer.CoffmanGraham(cgWidth)},
+		{"minwidth", antlayer.MinWidthBest(opts.DummyWidth)},
+		{fmt.Sprintf("cg(w=%d)", opts.CGWidth), antlayer.CoffmanGraham(opts.CGWidth)},
 		{"netsimplex", antlayer.NetworkSimplex()},
-		{"aco", antlayer.AntColonyContext(ctx, aco)},
+		{"aco", antlayer.AntColonyContext(ctx, opts.ACO)},
+		{"island", antlayer.IslandColonyContext(ctx, opts.IslandOf())},
 	}
 	fmt.Fprintf(w, "graph: %d vertices, %d edges\n", g.N(), g.M())
 	fmt.Fprintf(w, "%-12s %7s %11s %11s %8s %8s\n",
@@ -110,7 +140,7 @@ func runComparison(ctx context.Context, w io.Writer, g *antlayer.Graph, dummyWid
 		if err != nil {
 			return fmt.Errorf("%s: %w", a.name, err)
 		}
-		m := l.ComputeMetrics(dummyWidth)
+		m := l.ComputeMetrics(opts.DummyWidth)
 		fmt.Fprintf(w, "%-12s %7d %11.1f %11.1f %8d %8d\n",
 			a.name, m.Height, m.WidthIncl, m.WidthExcl, m.DummyCount, m.EdgeDensity)
 	}
@@ -126,7 +156,7 @@ func runLayer(ctx context.Context, args []string, stdin io.Reader, stdout io.Wri
 	var (
 		in         = fs.String("in", "", "input file (default: stdin)")
 		format     = fs.String("format", "dot", "input format: dot | edges (corpusgen edge lists)")
-		algo       = fs.String("algo", "aco", "layering algorithm: aco|lpl|minwidth|cg|ns")
+		algo       = fs.String("algo", "aco", "layering algorithm: aco|island|lpl|minwidth|cg|ns")
 		compare    = fs.Bool("compare", false, "run every algorithm and print a comparison table")
 		doPromote  = fs.Bool("promote", false, "apply the Promote Layering post-processing step")
 		svgOut     = fs.String("svg", "", "write an SVG drawing to this file")
@@ -140,6 +170,8 @@ func runLayer(ctx context.Context, args []string, stdin io.Reader, stdout io.Wri
 		seed       = fs.Int64("seed", 1, "aco: random seed")
 		workers    = fs.Int("workers", 0, "aco: goroutines per tour (0 = all CPUs; same seed gives the same layering at any value)")
 		cgWidth    = fs.Int("cg-width", 4, "cg: maximum real vertices per layer")
+		islands    = fs.Int("islands", 4, "island: number of cooperating colonies")
+		migrate    = fs.Int("migration-interval", 2, "island: tours between elite migrations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,11 +204,22 @@ func runLayer(ctx context.Context, args []string, stdin io.Reader, stdout io.Wri
 	}
 
 	if *compare {
-		return runComparison(ctx, stdout, g, *dummyWidth, *cgWidth, buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
+		return runComparison(ctx, stdout, g, antlayer.Options{
+			DummyWidth:        *dummyWidth,
+			CGWidth:           *cgWidth,
+			ACO:               buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed),
+			Islands:           *islands,
+			MigrationInterval: *migrate,
+		})
 	}
 
-	layerer, err := antlayer.LayererByName(ctx, *algo, *dummyWidth, *cgWidth,
-		buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed))
+	layerer, err := antlayer.LayererByName(ctx, *algo, antlayer.Options{
+		DummyWidth:        *dummyWidth,
+		CGWidth:           *cgWidth,
+		ACO:               buildACO(*ants, *tours, *workers, *alpha, *beta, *dummyWidth, *seed),
+		Islands:           *islands,
+		MigrationInterval: *migrate,
+	})
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,9 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "cap on the per-request timeout-ms override")
 		maxBody    = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 		grace      = fs.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests")
+		jobWorkers = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
+		jobQueue   = fs.Int("job-queue", 64, "async job backlog bound; POST /jobs beyond it answers 429")
+		jobRetain  = fs.Int("job-retention", 256, "finished jobs kept pollable before eviction")
 		quiet      = fs.Bool("quiet", false, "suppress per-request logging")
 	)
 	fs.Usage = func() {
@@ -30,9 +33,13 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 
 Runs the layering HTTP daemon:
 
-  POST /layer     layer a DOT (or edge-list) graph; see README "Serving"
-  GET  /healthz   liveness
-  GET  /metrics   counters: requests, cache hit rate, tours, p50/p99 latency
+  POST   /layer      layer a DOT (or edge-list) graph; see README "Serving"
+  POST   /jobs       same request, asynchronously: 202 + job id
+  GET    /jobs/{id}  poll a job (done jobs answer the /layer body)
+  DELETE /jobs/{id}  cancel a job
+  GET    /healthz    liveness + build info
+  GET    /metrics    counters: requests, cache hit rate, tours, p50/p99
+                     latency, job queue depth and per-state counts
 
 flags:
 `)
@@ -49,6 +56,9 @@ flags:
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 		ShutdownGrace:  *grace,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobRetention:   *jobRetain,
 	}
 	if !*quiet {
 		cfg.Log = log.New(stdout, "daglayer: ", log.LstdFlags)

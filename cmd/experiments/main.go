@@ -67,7 +67,7 @@ func run(args []string, w io.Writer) error {
 		tours    = fs.Int("tours", 10, "tours per colony run")
 		workers  = fs.Int("workers", 1, "parallel graph evaluations (timing series need 1)")
 		acoWork  = fs.Int("aco-workers", 1, "goroutines per colony tour (0 = all CPUs; layerings are seed-deterministic at any value, timing series need 1)")
-		family   = fs.String("family", "sparse", "corpus family: sparse|trees|layered|dense")
+		family   = fs.String("family", "sparse", "corpus family: sparse|trees|layered|dense|series-parallel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

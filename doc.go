@@ -41,17 +41,28 @@
 // tours, never during one. See README.md ("Parallelism") for the full
 // guarantee.
 //
+// Above the per-tour pool, IslandColony runs an island model: K colonies
+// searching concurrently from independent derived seeds, migrating each
+// island's elite layering around a ring as a pheromone deposit every few
+// tours (IslandParams). Given an equal total tour budget the archipelago
+// matches or improves the single colony's cost, and the determinism
+// guarantee carries over unchanged; see README.md ("The island model")
+// and DESIGN.md §8.
+//
 // # Cancellation and serving
 //
 // Colony runs accept a context: AntColonyContext and AntColonyRunContext
-// stop within one ant walk per worker of the context being cancelled or
-// its deadline expiring, returning an error that wraps ctx.Err(). A
-// context that never fires changes nothing — determinism holds. On top of
-// this, `daglayer serve` (internal/server) exposes layering as an HTTP
-// daemon with an exact LRU result cache, bounded concurrency, per-request
-// deadlines, /healthz and /metrics; see README.md ("Serving").
+// (and their Island counterparts) stop within one ant walk per worker of
+// the context being cancelled or its deadline expiring, returning an
+// error that wraps ctx.Err(). A context that never fires changes nothing
+// — determinism holds. On top of this, `daglayer serve`
+// (internal/server) exposes layering as an HTTP daemon with an exact LRU
+// result cache, bounded concurrency, per-request deadlines, an
+// asynchronous /jobs queue, /healthz and /metrics; `daglayer batch`
+// layers whole directories on the same job queue. See README.md
+// ("Serving", "Batch mode").
 //
 // See examples/ for runnable programs, README.md for a feature matrix of
-// the six layerers, and DESIGN.md for the system inventory and
+// the layerers, and DESIGN.md for the system inventory and
 // per-experiment index.
 package antlayer

@@ -1,0 +1,78 @@
+// Package buildinfo reports how the running binary was built — module
+// version, VCS revision, dirty flag and Go toolchain — from the build
+// metadata the Go linker embeds (debug.ReadBuildInfo). It is what
+// `daglayer -version` prints and what the daemon's /healthz serves, so
+// deployed instances can be told apart without guessing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info describes the running binary.
+type Info struct {
+	// Version is the main module's version: a tag for released builds,
+	// "(devel)" for workspace builds, "unknown" when no build info is
+	// embedded (e.g. some test binaries).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, "" when the
+	// build carried no VCS stamp (-buildvcs=false, tarball builds).
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go"`
+}
+
+// read is swapped out by tests; production always reads the real build
+// info.
+var read = debug.ReadBuildInfo
+
+// Get returns the running binary's build description. It never fails:
+// missing metadata degrades to "unknown" fields.
+func Get() Info {
+	info := Info{Version: "unknown"}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info on one line: `v1.2.3 (abcdef123456, go1.24.0)`,
+// with a `+dirty` marker after a modified revision and the missing parts
+// simply absent.
+func (i Info) String() string {
+	s := i.Version
+	switch {
+	case i.Revision != "" && i.Modified:
+		s += fmt.Sprintf(" (%s+dirty", i.Revision)
+	case i.Revision != "":
+		s += fmt.Sprintf(" (%s", i.Revision)
+	default:
+		s += " ("
+	}
+	if i.GoVersion != "" {
+		if s[len(s)-1] != '(' {
+			s += ", "
+		}
+		s += i.GoVersion
+	}
+	if s[len(s)-1] == '(' {
+		return i.Version
+	}
+	return s + ")"
+}

@@ -1,0 +1,70 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func stub(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestGetReal(t *testing.T) {
+	// Test binaries do carry build info; whatever it is, Get must not
+	// return zero fields where the metadata exists.
+	info := Get()
+	if info.Version == "" {
+		t.Fatal("empty version")
+	}
+	if info.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestGetNoBuildInfo(t *testing.T) {
+	stub(t, nil, false)
+	info := Get()
+	if info.Version != "unknown" || info.Revision != "" || info.GoVersion != "" {
+		t.Fatalf("info = %+v", info)
+	}
+	if got := info.String(); got != "unknown" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestGetFullStamp(t *testing.T) {
+	stub(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "abcdef123456"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	info := Get()
+	if info.Version != "v1.2.3" || info.Revision != "abcdef123456" || !info.Modified || info.GoVersion != "go1.24.0" {
+		t.Fatalf("info = %+v", info)
+	}
+	if got, want := info.String(), "v1.2.3 (abcdef123456+dirty, go1.24.0)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestStringPartial(t *testing.T) {
+	cases := []struct {
+		info Info
+		want string
+	}{
+		{Info{Version: "v1.0.0", GoVersion: "go1.24.0"}, "v1.0.0 (go1.24.0)"},
+		{Info{Version: "(devel)", Revision: "deadbeef"}, "(devel) (deadbeef)"},
+		{Info{Version: "unknown"}, "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.info.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.info, got, c.want)
+		}
+	}
+}

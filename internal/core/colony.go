@@ -46,7 +46,12 @@ type Result struct {
 }
 
 // Colony conducts the search process (paper §VI: the AntColony class). A
-// Colony is single-use: construct with NewColony, call Run once.
+// Colony is single-use: construct with NewColony, then either call Run
+// (or RunContext) once, or drive the run incrementally — StepContext in
+// slices of tours, optionally DepositElite between slices (the island
+// model's migration hook), Finalize once at the end. Run is exactly
+// StepContext over all tours followed by Finalize, so the two styles
+// produce bitwise-identical results.
 type Colony struct {
 	g   *dag.Graph
 	p   Params
@@ -58,6 +63,17 @@ type Colony struct {
 
 	ants   []*ant      // reused across tours; allocated on the first tour
 	powTau [][]float64 // scratch for the per-tour τ^α snapshot (α ≠ 1 only)
+
+	// Incremental run state, initialised lazily by ensureStarted so a
+	// freshly constructed colony costs nothing until it steps.
+	started       bool
+	tour          int // next tour to run, 1-based
+	stagnant      int // consecutive non-improving tours
+	stopped       bool
+	bestObjective float64
+	bestAssign    []int
+	bestTour      int
+	history       []TourStats
 }
 
 // NewColony validates the parameters and runs the initialisation phase
@@ -133,33 +149,53 @@ func (c *Colony) Run() (*Result, error) {
 // whether or not a (never-fired) cancel was armed, because the checks read
 // the context without touching any ant's RNG.
 func (c *Colony) RunContext(ctx context.Context) (*Result, error) {
-	n := c.g.N()
-	if n == 0 {
-		return &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}, nil
+	if _, err := c.StepContext(ctx, c.p.Tours); err != nil {
+		return nil, err
 	}
+	return c.Finalize()
+}
 
-	// The stretched LPL seed is the incumbent solution: a tour whose ants
-	// all explore uphill cannot make the final result worse than the
-	// layering the colony started from. BestTour stays 0 when no walk
-	// beats the seed.
-	res := &Result{}
+// ensureStarted scores the stretched LPL seed as the incumbent solution: a
+// tour whose ants all explore uphill cannot make the final result worse
+// than the layering the colony started from. BestTour stays 0 when no walk
+// beats the seed.
+func (c *Colony) ensureStarted() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.tour = 1
 	// The seed ant never walks or scores candidates, so the raw pheromone
 	// matrix stands in for the τ^α snapshot its constructor asks for.
 	seed := newAnt(c.g, &c.p, c.tau, c.L, c.baseAssign, c.baseWidths, 0)
 	seed.scoreWalk()
-	bestObjective := seed.objective
-	bestAssign := append([]int(nil), c.baseAssign...)
-	stagnant := 0
+	c.bestObjective = seed.objective
+	c.bestAssign = append([]int(nil), c.baseAssign...)
+}
 
-	for t := 1; t <= c.p.Tours; t++ {
+// StepContext runs up to n further tours under ctx and reports whether the
+// run is over — all Params.Tours executed, or the stagnation rule fired.
+// Tour numbering continues across calls, so splitting a run into slices
+// changes no ant's seed: StepContext(ctx, Tours) and Tours calls of
+// StepContext(ctx, 1) walk the very same ants. Cancellation semantics are
+// those of RunContext; a colony whose step was cancelled is dead (the
+// interrupted tour was discarded, but the run cannot resume).
+func (c *Colony) StepContext(ctx context.Context, n int) (done bool, err error) {
+	if c.g.N() == 0 {
+		c.stopped = true
+		return true, nil
+	}
+	c.ensureStarted()
+	for k := 0; k < n && !c.stopped; k++ {
+		t := c.tour
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: colony run aborted before tour %d: %w", t, err)
+			return false, fmt.Errorf("core: colony run aborted before tour %d: %w", t, err)
 		}
 		ants := c.runTour(ctx, t)
 		// A tour interrupted mid-flight holds a mix of walked and stale
 		// ants; discard it rather than let it update the pheromone matrix.
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: colony run aborted during tour %d: %w", t, err)
+			return false, fmt.Errorf("core: colony run aborted during tour %d: %w", t, err)
 		}
 
 		// The tour's best ant: highest objective, ties to the lowest index
@@ -180,7 +216,7 @@ func (c *Colony) RunContext(ctx context.Context) (*Result, error) {
 		c.deposit(best)
 		c.clampPheromone()
 
-		res.History = append(res.History, TourStats{
+		c.history = append(c.history, TourStats{
 			Tour:                   t,
 			BestObjective:          best.objective,
 			MeanObjective:          meanObj / float64(len(ants)),
@@ -194,30 +230,98 @@ func (c *Colony) RunContext(ctx context.Context) (*Result, error) {
 		c.baseAssign = append(c.baseAssign[:0], best.assign...)
 		c.baseWidths = append(c.baseWidths[:0], best.widths...)
 
-		if best.objective > bestObjective {
-			bestObjective = best.objective
-			bestAssign = append([]int(nil), best.assign...)
-			res.BestTour = t
-			stagnant = 0
+		c.tour++
+		if best.objective > c.bestObjective {
+			c.bestObjective = best.objective
+			c.bestAssign = append(c.bestAssign[:0], best.assign...)
+			c.bestTour = t
+			c.stagnant = 0
 		} else {
-			stagnant++
-			if c.p.StopAfterStagnantTours > 0 && stagnant >= c.p.StopAfterStagnantTours {
-				break
+			c.stagnant++
+			if c.p.StopAfterStagnantTours > 0 && c.stagnant >= c.p.StopAfterStagnantTours {
+				c.stopped = true
 			}
 		}
+		if c.tour > c.p.Tours {
+			c.stopped = true
+		}
 	}
+	return c.stopped, nil
+}
 
-	l := layering.FromAssignment(c.g, bestAssign)
+// Finalize normalizes the best layering found so far into a Result. Call
+// it once, after stepping is over; a colony that never stepped returns the
+// stretched LPL seed.
+func (c *Colony) Finalize() (*Result, error) {
+	if c.g.N() == 0 {
+		return &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}, nil
+	}
+	c.ensureStarted()
+	// The layering gets its own copy: FromAssignment aliases the slice
+	// and Normalize remaps it in place, which must not corrupt the
+	// stretched-space assignment a later Best()/DepositElite reads.
+	l := layering.FromAssignment(c.g, append([]int(nil), c.bestAssign...))
 	l.SetNumLayers(c.L)
 	if err := l.Validate(); err != nil {
 		return nil, fmt.Errorf("core: colony produced invalid layering: %w", err)
 	}
 	l.Normalize()
-	res.Layering = l
-	res.Objective = bestObjective
-	res.Height = l.Height()
-	res.Width = l.WidthIncludingDummies(c.p.DummyWidth)
-	return res, nil
+	return &Result{
+		Layering:  l,
+		Objective: c.bestObjective,
+		Height:    l.Height(),
+		Width:     l.WidthIncludingDummies(c.p.DummyWidth),
+		BestTour:  c.bestTour,
+		History:   c.history,
+	}, nil
+}
+
+// Best returns a copy of the best layer assignment found so far (in the
+// stretched search space, 1-based layers) and its objective f = 1/(H+W).
+// Before any tour has run it is the stretched LPL seed. The island model
+// reads it at migration barriers; feeding it to another colony over the
+// same graph and stretch is what DepositElite is for.
+func (c *Colony) Best() (assign []int, objective float64) {
+	if c.g.N() == 0 {
+		return nil, 0
+	}
+	c.ensureStarted()
+	return append([]int(nil), c.bestAssign...), c.bestObjective
+}
+
+// NumLayers returns the stretched layer count L of the colony's search
+// space — the space Best assignments live in.
+func (c *Colony) NumLayers() int { return c.L }
+
+// ToursRun returns how many tours the colony has executed so far.
+func (c *Colony) ToursRun() int { return len(c.history) }
+
+// DepositElite adds pheromone along an externally supplied layering — the
+// elite-migration hook of the island model. The deposit is Q·objective on
+// every (vertex, layer) coupling followed by the MAX-MIN clamp, exactly
+// like a tour-best deposit, so a migrated elite biases the colony towards
+// the neighbour's solution without overwriting its own search state. The
+// assignment must live in this colony's stretched search space (one
+// 1-based layer per vertex); islands over the same graph and parameters
+// share that space by construction.
+func (c *Colony) DepositElite(assign []int, objective float64) error {
+	if len(assign) != c.g.N() {
+		return fmt.Errorf("core: elite deposit: assignment covers %d vertices, graph has %d", len(assign), c.g.N())
+	}
+	if objective <= 0 {
+		return fmt.Errorf("core: elite deposit: objective must be > 0, got %g", objective)
+	}
+	for v, l := range assign {
+		if l < 1 || l > c.L {
+			return fmt.Errorf("core: elite deposit: vertex %d on layer %d outside [1,%d]", v, l, c.L)
+		}
+	}
+	amount := c.p.Q * objective
+	for v, l := range assign {
+		c.tau[v][l-1] += amount
+	}
+	c.clampPheromone()
+	return nil
 }
 
 // workers resolves Params.Workers to the pool size actually used for one

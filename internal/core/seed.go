@@ -21,6 +21,20 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// SubSeed derives the master seed of independent search stream `stream`
+// (0-based) from a master seed — the same SplitMix64 discipline antSeed
+// applies inside one colony, lifted one level up. The island model uses it
+// to give every island a statistically independent colony seed that is a
+// pure function of (master seed, island index), so an island run is
+// reproducible and no two islands ever share an RNG stream with each other
+// or with any single-colony run on the same master seed (the stream
+// multiplier differs from both antSeed multipliers). The result is masked
+// to 63 bits for the same rand.NewSource reason as antSeed.
+func SubSeed(master int64, stream int) int64 {
+	z := mix64(uint64(master) ^ 0xD1B54A32D192ED03*uint64(stream+1))
+	return int64(z & (1<<63 - 1))
+}
+
 // antSeed derives the RNG seed of ant `ant` (0-based) in tour `tour`
 // (1-based) of a run whose master seed is `master`. Each coordinate is
 // spread over all 64 bits by a large odd multiplier before being absorbed,

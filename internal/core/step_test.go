@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/graphgen"
+)
+
+// TestStepSlicingMatchesRun pins the incremental API's contract: driving a
+// colony in one-tour slices and finalizing produces bitwise the result
+// RunContext computes in one call, because tour numbering (and with it
+// every ant seed) continues across StepContext calls.
+func TestStepSlicingMatchesRun(t *testing.T) {
+	g, err := graphgen.Generate(graphgen.DefaultConfig(50), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Tours = 7
+	p.Seed = 21
+
+	whole, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewColony(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		done, err := c.StepContext(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+		if steps > p.Tours {
+			t.Fatalf("stepping did not terminate after %d tours", steps)
+		}
+	}
+	sliced, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(whole.Objective) != math.Float64bits(sliced.Objective) {
+		t.Errorf("objective diverged: %v vs %v", whole.Objective, sliced.Objective)
+	}
+	if fmt.Sprint(whole.Layering.Layers()) != fmt.Sprint(sliced.Layering.Layers()) {
+		t.Errorf("layering diverged:\n%v\n%v", whole.Layering.Layers(), sliced.Layering.Layers())
+	}
+	if len(whole.History) != len(sliced.History) || whole.BestTour != sliced.BestTour {
+		t.Errorf("history diverged: %d/%d tours, best %d/%d",
+			len(whole.History), len(sliced.History), whole.BestTour, sliced.BestTour)
+	}
+}
+
+// TestBestBeforeStepping: a colony that never stepped reports the
+// stretched LPL seed as its best, and Finalize returns a valid layering
+// for it.
+func TestBestBeforeStepping(t *testing.T) {
+	g, err := graphgen.Generate(graphgen.DefaultConfig(20), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewColony(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, obj := c.Best()
+	if len(assign) != g.N() || obj <= 0 {
+		t.Fatalf("seed best: %d assignments, objective %g", len(assign), obj)
+	}
+	if c.ToursRun() != 0 {
+		t.Fatalf("ToursRun = %d before stepping", c.ToursRun())
+	}
+	res, err := c.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTour != 0 {
+		t.Fatalf("unstepped finalize: best tour %d, want 0 (seed stood)", res.BestTour)
+	}
+	if err := res.Layering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFinalizeDoesNotCorruptBest: Finalize normalizes a copy, so the
+// stretched-space assignment Best() reports is unchanged — the pair
+// (assignment, objective) stays valid DepositElite input afterwards.
+func TestFinalizeDoesNotCorruptBest(t *testing.T) {
+	g, err := graphgen.Generate(graphgen.DefaultConfig(30), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewColony(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StepContext(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	before, obj := c.Best()
+	if _, err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	after, objAfter := c.Best()
+	if fmt.Sprint(before) != fmt.Sprint(after) || obj != objAfter {
+		t.Fatalf("Finalize mutated Best():\nbefore %v\nafter  %v", before, after)
+	}
+	if err := c.DepositElite(after, objAfter); err != nil {
+		t.Fatalf("post-Finalize elite rejected: %v", err)
+	}
+}
+
+// TestDepositElite exercises the migration hook: valid deposits raise the
+// pheromone on exactly the deposited couplings; malformed ones are
+// rejected.
+func TestDepositElite(t *testing.T) {
+	g, err := graphgen.Generate(graphgen.DefaultConfig(12), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	c, err := NewColony(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, obj := c.Best()
+	before := make([]float64, g.N())
+	for v := range before {
+		before[v] = c.tau[v][assign[v]-1]
+	}
+	if err := c.DepositElite(assign, obj); err != nil {
+		t.Fatal(err)
+	}
+	for v := range before {
+		want := before[v] + p.Q*obj
+		if got := c.tau[v][assign[v]-1]; got != want {
+			t.Errorf("tau[%d][%d] = %g, want %g", v, assign[v]-1, got, want)
+		}
+	}
+
+	if err := c.DepositElite(assign[:1], obj); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if err := c.DepositElite(assign, 0); err == nil {
+		t.Error("zero objective accepted")
+	}
+	bad := append([]int(nil), assign...)
+	bad[0] = c.NumLayers() + 1
+	if err := c.DepositElite(bad, obj); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+
+	// The clamp applies to elite deposits too.
+	cp := p
+	cp.TauMax = 1.5
+	c2, err := NewColony(g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.DepositElite(assign, obj); err != nil {
+		t.Fatal(err)
+	}
+	for v, l := range assign {
+		if c2.tau[v][l-1] > cp.TauMax {
+			t.Fatalf("tau[%d] = %g exceeds TauMax %g after elite deposit", v, c2.tau[v][l-1], cp.TauMax)
+		}
+	}
+}
+
+// TestSubSeedIndependence: distinct streams (and the master itself) get
+// pairwise distinct, non-negative seeds.
+func TestSubSeed(t *testing.T) {
+	master := int64(1)
+	seen := map[int64]int{master: -1}
+	for i := 0; i < 64; i++ {
+		s := SubSeed(master, i)
+		if s < 0 {
+			t.Fatalf("SubSeed(%d, %d) = %d is negative", master, i, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed collision: streams %d and %d both map to %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Error("different masters map stream 0 to the same seed")
+	}
+}

@@ -2,7 +2,9 @@ package dot
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -52,6 +54,75 @@ func TestEdgeListNeverPanics(t *testing.T) {
 			_, _ = ReadEdgeList(bytes.NewReader(b))
 		}()
 	}
+}
+
+// FuzzReadEdgeListNamed mirrors the DOT soup harness for the edge-list
+// reader guarding the /layer, /jobs and `daglayer batch` entry points:
+// whatever the bytes, the reader must return a clean error or a
+// well-formed named graph, never panic. The seed corpus walks the
+// documented failure modes — malformed lines, truncated bodies, duplicate
+// edges and self-loops (which must error: dag.Graph rejects both), header
+// lies — so plain `go test` already exercises each rejection path, and
+// `go test -fuzz=FuzzReadEdgeListNamed` explores from there.
+func FuzzReadEdgeListNamed(f *testing.F) {
+	for _, seed := range []string{
+		"",                         // empty input: header missing
+		"3 2\n2 1\n1 0\n",          // well-formed
+		"# comment\n\n3 1\n2 0\n",  // comments and blank lines skipped
+		"2 1\n1 1\n",               // self-loop must error
+		"3 2\n2 1\n2 1\n",          // duplicate edge must error
+		"2 1\n5 0\n",               // endpoint out of range
+		"3 2\n2 1\n",               // truncated: fewer edges than claimed
+		"3 99\n2 1\n1 0\n",         // header claims impossible edge count
+		"-1 -1\n",                  // negative counts
+		"99999999999999999999 1\n", // header overflow
+		"3 2\n2 one\n1 0\n",        // non-numeric endpoint
+		"x y\n",                    // non-numeric header
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		g, names, err := ReadEdgeListNamed(strings.NewReader(data))
+		if err != nil {
+			if g != nil || names != nil {
+				t.Fatalf("error %v alongside non-nil graph/names", err)
+			}
+			return
+		}
+		// A successful parse must uphold the contract every consumer
+		// leans on: one synthesised v<N> name and label per vertex...
+		if len(names) != g.N() {
+			t.Fatalf("%d names for %d vertices", len(names), g.N())
+		}
+		for v, name := range names {
+			if want := fmt.Sprintf("v%d", v); name != want || g.Label(v) != want {
+				t.Fatalf("vertex %d named %q, labelled %q, want %q", v, name, g.Label(v), want)
+			}
+		}
+		// ...a simple graph (no self-loops, no duplicates)...
+		seen := map[[2]int]bool{}
+		for _, e := range g.Edges() {
+			if e.U == e.V {
+				t.Fatalf("self-loop (%d,%d) survived", e.U, e.V)
+			}
+			if seen[[2]int{e.U, e.V}] {
+				t.Fatalf("duplicate edge (%d,%d) survived", e.U, e.V)
+			}
+			seen[[2]int{e.U, e.V}] = true
+		}
+		// ...and a round trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", h.N(), h.M(), g.N(), g.M())
+		}
+	})
 }
 
 // TestLabelRoundTripQuick writes graphs whose labels contain arbitrary

@@ -63,6 +63,11 @@ const (
 	LayeredFamily
 	// Dense doubles the edge factor of Sparse (m/n ≈ 2.8).
 	Dense
+	// SeriesParallelFamily builds two-terminal series-parallel DAGs
+	// (random series/parallel compositions, see SeriesParallel) — the
+	// structured fork/join workload the island experiments widen scenario
+	// coverage with.
+	SeriesParallelFamily
 )
 
 func (f Family) String() string {
@@ -75,6 +80,8 @@ func (f Family) String() string {
 		return "layered"
 	case Dense:
 		return "dense"
+	case SeriesParallelFamily:
+		return "series-parallel"
 	default:
 		return fmt.Sprintf("Family(%d)", int(f))
 	}
@@ -91,8 +98,10 @@ func ParseFamily(s string) (Family, error) {
 		return LayeredFamily, nil
 	case "dense":
 		return Dense, nil
+	case "series-parallel", "sp":
+		return SeriesParallelFamily, nil
 	default:
-		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense)", s)
+		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense|series-parallel)", s)
 	}
 }
 
@@ -109,6 +118,10 @@ func (f Family) generate(n int, rng *rand.Rand) (*dag.Graph, error) {
 		return Layered(n, layers, 0.3, rng)
 	case Dense:
 		return Generate(Config{N: n, EdgeFactor: 2.8, MaxDegree: 10, Connected: true}, rng)
+	case SeriesParallelFamily:
+		// An even series/parallel mix keeps both the nesting depth and the
+		// parallel fan-out growing with n.
+		return SeriesParallel(n, 0.5, rng)
 	default:
 		return Generate(DefaultConfig(n), rng)
 	}

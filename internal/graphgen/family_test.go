@@ -1,6 +1,8 @@
 package graphgen
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -26,6 +28,7 @@ func TestParseFamily(t *testing.T) {
 func TestFamilyStrings(t *testing.T) {
 	for f, want := range map[Family]string{
 		Sparse: "sparse", Trees: "trees", LayeredFamily: "layered", Dense: "dense",
+		SeriesParallelFamily: "series-parallel",
 	} {
 		if f.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
@@ -37,7 +40,7 @@ func TestFamilyStrings(t *testing.T) {
 }
 
 func TestCorpusFamilies(t *testing.T) {
-	for _, fam := range []Family{Sparse, Trees, LayeredFamily, Dense} {
+	for _, fam := range []Family{Sparse, Trees, LayeredFamily, Dense, SeriesParallelFamily} {
 		groups, err := CorpusFamily(3, 2, fam)
 		if err != nil {
 			t.Fatalf("%v: %v", fam, err)
@@ -84,5 +87,77 @@ func TestFamilyProfiles(t *testing.T) {
 	if Stats(dense).MeanEdgeFactor <= Stats(sparse).MeanEdgeFactor {
 		t.Fatalf("dense factor %.2f not above sparse %.2f",
 			Stats(dense).MeanEdgeFactor, Stats(sparse).MeanEdgeFactor)
+	}
+}
+
+// TestSeriesParallelStructure pins the generator's invariants: a unique
+// source and sink (the two terminals), an edge count within the
+// composition bounds, acyclicity, and determinism for a fixed seed.
+func TestSeriesParallelStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{2, 3, 10, 60} {
+		g, err := SeriesParallel(n, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d vertices", n, g.N())
+		}
+		if !g.IsAcyclic() {
+			t.Fatalf("n=%d: cyclic", n)
+		}
+		sources, sinks := 0, 0
+		for v := 0; v < g.N(); v++ {
+			if g.InDegree(v) == 0 {
+				sources++
+			}
+			if g.OutDegree(v) == 0 {
+				sinks++
+			}
+		}
+		if sources != 1 || sinks != 1 {
+			t.Fatalf("n=%d: %d sources, %d sinks; want 1 and 1", n, sources, sinks)
+		}
+		// Every step adds 1 (series) or 2 (parallel) edges to the initial 1.
+		if min, max := 1+(n-2), 1+2*(n-2); g.M() < min || g.M() > max {
+			t.Fatalf("n=%d: %d edges outside [%d,%d]", n, g.M(), min, max)
+		}
+	}
+
+	a, err := SeriesParallel(40, 0.5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SeriesParallel(40, 0.5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Edges()) != fmt.Sprint(b.Edges()) {
+		t.Fatal("same seed produced different series-parallel graphs")
+	}
+
+	// pSeries=1 is a pure path; pSeries=0 maximises parallel branches.
+	path, err := SeriesParallel(20, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.M() != 19 {
+		t.Fatalf("pure series: %d edges, want 19", path.M())
+	}
+	wide, err := SeriesParallel(20, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.M() != 1+2*18 {
+		t.Fatalf("pure parallel: %d edges, want %d", wide.M(), 1+2*18)
+	}
+
+	for _, bad := range []struct {
+		n int
+		p float64
+	}{{1, 0.5}, {5, -0.1}, {5, 1.1}} {
+		if _, err := SeriesParallel(bad.n, bad.p, rng); err == nil {
+			t.Errorf("SeriesParallel(%d, %g) accepted", bad.n, bad.p)
+		}
 	}
 }

@@ -136,6 +136,45 @@ func Layered(n, layers int, p float64, rng *rand.Rand) (*dag.Graph, error) {
 	return g, nil
 }
 
+// SeriesParallel builds a random two-terminal series-parallel DAG with
+// exactly n vertices (n >= 2). Starting from the single edge source →
+// sink, each step picks a random edge (u, v) and either series-splits it
+// (replace with u → w → v) or parallel-composes it (add a disjoint
+// two-edge path u → w → v beside it), each adding one vertex; pSeries is
+// the probability of the series step. Series-parallel DAGs model
+// structured workflows (fork/join task graphs, arithmetic expression
+// DAGs) and stress a layerer differently from the sparse random profile:
+// heights and widths are coupled through the nesting structure, so greedy
+// layer choices propagate. The graph has ~1 + (1+(1-pSeries))·(n-2)
+// edges, acyclic by construction.
+func SeriesParallel(n int, pSeries float64, rng *rand.Rand) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graphgen: SeriesParallel needs n >= 2, got %d", n)
+	}
+	if pSeries < 0 || pSeries > 1 {
+		return nil, fmt.Errorf("graphgen: pSeries must be in [0,1], got %g", pSeries)
+	}
+	// Vertex 0 is the source and vertex 1 the sink; every composition
+	// step appends one vertex. Edges live in a mutable list because a
+	// series split replaces an edge, which dag.Graph does not support.
+	edges := []dag.Edge{{U: 0, V: 1}}
+	for w := 2; w < n; w++ {
+		i := rng.Intn(len(edges))
+		e := edges[i]
+		if rng.Float64() < pSeries {
+			edges[i] = dag.Edge{U: e.U, V: w}
+			edges = append(edges, dag.Edge{U: w, V: e.V})
+		} else {
+			edges = append(edges, dag.Edge{U: e.U, V: w}, dag.Edge{U: w, V: e.V})
+		}
+	}
+	g := dag.New(n)
+	for _, e := range edges {
+		g.MustAddEdge(e.U, e.V)
+	}
+	return g, nil
+}
+
 // Path returns the path graph v_{n-1} -> ... -> v_0.
 func Path(n int) *dag.Graph {
 	g := dag.New(n)

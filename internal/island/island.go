@@ -1,0 +1,217 @@
+// Package island implements an island-model multi-colony search on top of
+// the paper's ant colony (package core).
+//
+// K independent colonies ("islands") search the same stretched layer
+// space concurrently, each from its own SplitMix64-derived master seed.
+// Every MigrationInterval tours the islands synchronize at a barrier and
+// each island's elite layering (its best-so-far assignment) migrates to
+// its ring neighbour, seeding the neighbour's pheromone matrix through
+// core.Colony.DepositElite — the classic coarse-grained parallel ACO
+// topology (a unidirectional ring with elitist emigrants). Migration
+// biases a neighbour towards a good foreign solution without overwriting
+// its own search state, so the islands cooperate while their pheromone
+// populations stay diverse.
+//
+// Determinism: the run is a pure function of (graph, Params). Island i's
+// colony seed is core.SubSeed(Seed, i); every epoch is a barrier (all
+// islands finish their tour slice before any elite is read); elites are
+// collected and deposited in island order by the coordinating goroutine
+// alone. No RNG stream, pheromone matrix or scratch buffer is ever shared
+// between islands, so the result is bitwise-identical at any
+// Params.Colony.Workers setting and under any goroutine schedule — the
+// same guarantee the single colony gives, lifted to the archipelago.
+package island
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"antlayer/internal/core"
+	"antlayer/internal/dag"
+	"antlayer/internal/layering"
+)
+
+// Params configures an island run. The zero value is not valid; start
+// from DefaultParams.
+type Params struct {
+	// Colony configures every island's colony: each island runs
+	// Colony.Tours tours with Colony.Ants ants, so an island run spends
+	// Islands × Tours × Ants walks in total. Colony.Seed is the master
+	// seed the per-island seeds are derived from.
+	Colony core.Params
+	// Islands is the number of colonies K (>= 1). With K = 1 the run
+	// degenerates to a single colony and no migration happens.
+	Islands int
+	// MigrationInterval is how many tours every island runs between two
+	// migration barriers (>= 1). An interval at or above Colony.Tours
+	// means the islands never exchange anything — independent restarts.
+	MigrationInterval int
+}
+
+// DefaultParams returns the paper's colony defaults wrapped in a 4-island
+// ring migrating every 2 tours.
+func DefaultParams() Params {
+	return Params{Colony: core.DefaultParams(), Islands: 4, MigrationInterval: 2}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	if err := p.Colony.Validate(); err != nil {
+		return err
+	}
+	if p.Islands < 1 {
+		return fmt.Errorf("island: Islands must be >= 1, got %d", p.Islands)
+	}
+	if p.MigrationInterval < 1 {
+		return fmt.Errorf("island: MigrationInterval must be >= 1, got %d", p.MigrationInterval)
+	}
+	return nil
+}
+
+// IslandStats summarises one island's contribution to a run.
+type IslandStats struct {
+	// Island is the island's index (0-based ring position).
+	Island int
+	// Seed is the island's derived colony seed.
+	Seed int64
+	// Objective is the island's best f = 1/(H+W).
+	Objective float64
+	// BestTour is the island-local tour that found its best walk (0 = the
+	// LPL seed stood).
+	BestTour int
+	// ToursRun counts the tours the island executed (early stopping can
+	// end an island before the others).
+	ToursRun int
+}
+
+// Result is the outcome of an island run: the winning island's colony
+// result plus per-island statistics.
+type Result struct {
+	core.Result
+	// BestIsland is the index of the island that produced Layering; ties
+	// on the objective go to the lowest index, so the value is as
+	// deterministic as the layering itself.
+	BestIsland int
+	// Migrations counts the migration barriers at which elites moved.
+	Migrations int
+	// PerIsland holds one entry per island, in ring order.
+	PerIsland []IslandStats
+}
+
+// Run executes an island-model search over g under ctx and returns the
+// best layering found by any island. Cancellation follows
+// core.Colony.RunContext: the first cancelled island aborts the whole run
+// with an error wrapping ctx.Err().
+func Run(ctx context.Context, g *dag.Graph, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := p.Islands
+	colonies := make([]*core.Colony, k)
+	seeds := make([]int64, k)
+	for i := range colonies {
+		cp := p.Colony
+		cp.Seed = core.SubSeed(p.Colony.Seed, i)
+		seeds[i] = cp.Seed
+		c, err := core.NewColony(g, cp)
+		if err != nil {
+			return nil, err
+		}
+		colonies[i] = c
+	}
+
+	res := &Result{PerIsland: make([]IslandStats, k)}
+	done := make([]bool, k)
+	errs := make([]error, k)
+	for {
+		// Epoch: every live island advances MigrationInterval tours. The
+		// islands run concurrently — each colony owns all its state, and
+		// its internal worker pool is already schedule-independent — and
+		// the WaitGroup is the migration barrier.
+		var wg sync.WaitGroup
+		for i := range colonies {
+			if done[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				done[i], errs[i] = colonies[i].StepContext(ctx, p.MigrationInterval)
+			}(i)
+		}
+		wg.Wait()
+		// Report the lowest-index error so the message does not depend on
+		// which goroutine lost the race to the cancelled context.
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("island %d: %w", i, err)
+			}
+		}
+		live := 0
+		for i := range done {
+			if !done[i] {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		// Migration: island i's elite emigrates to ring neighbour
+		// (i+1) mod K. Elites are snapshotted before any deposit, so the
+		// exchange reflects the barrier state, not a half-migrated one.
+		// Islands that already stopped still emit their elite (it is
+		// final) but receive no deposit — their matrix is dead weight.
+		if k > 1 {
+			type elite struct {
+				assign []int
+				obj    float64
+			}
+			elites := make([]elite, k)
+			for i, c := range colonies {
+				elites[i].assign, elites[i].obj = c.Best()
+			}
+			for i, c := range colonies {
+				if done[i] {
+					continue
+				}
+				src := elites[(i-1+k)%k]
+				if err := c.DepositElite(src.assign, src.obj); err != nil {
+					return nil, fmt.Errorf("island %d: migration: %w", i, err)
+				}
+			}
+			res.Migrations++
+		}
+	}
+
+	best := -1
+	for i, c := range colonies {
+		r, err := c.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("island %d: %w", i, err)
+		}
+		res.PerIsland[i] = IslandStats{
+			Island:    i,
+			Seed:      seeds[i],
+			Objective: r.Objective,
+			BestTour:  r.BestTour,
+			ToursRun:  len(r.History),
+		}
+		if best < 0 || r.Objective > res.Objective {
+			best = i
+			res.Result = *r
+		}
+	}
+	res.BestIsland = best
+	return res, nil
+}
+
+// Layer is the package-level convenience mirroring core.Layer: run the
+// archipelago and return only the layering.
+func Layer(ctx context.Context, g *dag.Graph, p Params) (*layering.Layering, error) {
+	res, err := Run(ctx, g, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Layering, nil
+}

@@ -1,0 +1,232 @@
+package island
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"antlayer/internal/core"
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/layering"
+)
+
+func testGraph(t testing.TB, n int, seed int64) *dag.Graph {
+	t.Helper()
+	g, err := graphgen.Generate(graphgen.DefaultConfig(n), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fingerprint renders everything observable about a result into one string,
+// including the exact float bits of the objective, so two runs compare
+// bitwise rather than approximately.
+func fingerprint(res *Result) string {
+	s := fmt.Sprintf("obj=%x best=%d tour=%d migrations=%d layers=%v",
+		math.Float64bits(res.Objective), res.BestIsland, res.BestTour,
+		res.Migrations, res.Layering.Layers())
+	for _, st := range res.PerIsland {
+		s += fmt.Sprintf(";i%d seed=%d obj=%x tours=%d", st.Island, st.Seed,
+			math.Float64bits(st.Objective), st.ToursRun)
+	}
+	return s
+}
+
+// TestIslandDeterministicAcrossWorkers pins the island model's core
+// guarantee: the archipelago's outcome is a pure function of (graph,
+// Params) — bitwise-identical at any per-colony worker count and under
+// any goroutine schedule.
+func TestIslandDeterministicAcrossWorkers(t *testing.T) {
+	g := testGraph(t, 60, 11)
+	base := DefaultParams()
+	base.Colony.Tours = 6
+	base.Colony.Seed = 42
+	base.Islands = 4
+	base.MigrationInterval = 2
+
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		p := base
+		p.Colony.Workers = workers
+		res, err := Run(context.Background(), g, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := res.Layering.Validate(); err != nil {
+			t.Fatalf("workers=%d: invalid layering: %v", workers, err)
+		}
+		got := fingerprint(res)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d diverged:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+}
+
+// TestIslandImprovesOnSingleColony compares the archipelago against one
+// colony given the same total tour budget (Islands × Tours tours of Ants
+// walks each) over a one-graph-per-group corpus sample: the aggregate
+// cost H+W must match or improve. Independent seeds plus elitist
+// migration is a restart strategy with cooperation, so it should never
+// lose the aggregate even when a single graph goes either way.
+func TestIslandImprovesOnSingleColony(t *testing.T) {
+	groups, err := graphgen.CorpusSample(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := DefaultParams()
+	ip.Colony.Tours = 5
+	ip.Colony.Workers = 1
+	ip.Islands = 4
+	ip.MigrationInterval = 2
+
+	sp := ip.Colony
+	sp.Tours = ip.Colony.Tours * ip.Islands // equal total tours
+
+	costOf := func(l *layering.Layering) float64 {
+		return float64(l.Height()) + l.WidthIncludingDummies(1)
+	}
+	var islandCost, singleCost float64
+	for _, gr := range groups {
+		for _, g := range gr.Graphs {
+			ires, err := Run(context.Background(), g, ip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres, err := core.Run(context.Background(), g, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			islandCost += costOf(ires.Layering)
+			singleCost += costOf(sres.Layering)
+		}
+	}
+	t.Logf("aggregate cost H+W: island=%.1f single=%.1f", islandCost, singleCost)
+	if islandCost > singleCost {
+		t.Errorf("island aggregate cost %.1f worse than single colony %.1f at equal total tours",
+			islandCost, singleCost)
+	}
+}
+
+// TestIslandSingleIslandMatchesColony: with K = 1 the archipelago is
+// exactly one colony seeded with SubSeed(master, 0).
+func TestIslandSingleIslandMatchesColony(t *testing.T) {
+	g := testGraph(t, 40, 7)
+	p := DefaultParams()
+	p.Islands = 1
+	p.Colony.Seed = 99
+	res, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("single island migrated %d times", res.Migrations)
+	}
+	cp := p.Colony
+	cp.Seed = core.SubSeed(p.Colony.Seed, 0)
+	want, err := core.Run(context.Background(), g, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != want.Objective || fmt.Sprint(res.Layering.Layers()) != fmt.Sprint(want.Layering.Layers()) {
+		t.Errorf("K=1 island diverged from the equivalent colony: %v vs %v", res.Objective, want.Objective)
+	}
+}
+
+// TestIslandNoMigrationIsIndependentRestarts: an interval at or past the
+// tour count never reaches a migration barrier with live islands.
+func TestIslandNoMigrationWhenIntervalCoversRun(t *testing.T) {
+	g := testGraph(t, 30, 5)
+	p := DefaultParams()
+	p.Colony.Tours = 4
+	p.MigrationInterval = 4
+	res, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("interval=tours still migrated %d times", res.Migrations)
+	}
+	for _, st := range res.PerIsland {
+		if st.ToursRun != p.Colony.Tours {
+			t.Errorf("island %d ran %d tours, want %d", st.Island, st.ToursRun, p.Colony.Tours)
+		}
+	}
+}
+
+func TestIslandValidate(t *testing.T) {
+	g := dag.New(2)
+	g.MustAddEdge(1, 0)
+	cases := []func(*Params){
+		func(p *Params) { p.Islands = 0 },
+		func(p *Params) { p.MigrationInterval = 0 },
+		func(p *Params) { p.Colony.Ants = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if _, err := Run(context.Background(), g, p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestIslandEmptyGraph(t *testing.T) {
+	res, err := Run(context.Background(), dag.New(0), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layering == nil || len(res.Layering.Layers()) != 0 {
+		t.Fatalf("empty graph result: %+v", res)
+	}
+}
+
+func TestIslandCancellation(t *testing.T) {
+	g := testGraph(t, 80, 13)
+	p := DefaultParams()
+	p.Colony.Tours = 100000
+	p.Colony.Ants = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, g, p); err == nil {
+		t.Fatal("cancelled island run succeeded")
+	}
+}
+
+// TestIslandEarlyStoppingStaggers: islands may stop at different epochs
+// under the stagnation rule; the run must survive that and report each
+// island's true tour count.
+func TestIslandEarlyStopping(t *testing.T) {
+	g := testGraph(t, 30, 17)
+	p := DefaultParams()
+	p.Colony.Tours = 40
+	p.Colony.StopAfterStagnantTours = 3
+	p.MigrationInterval = 2
+	res, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.PerIsland {
+		if st.ToursRun < 1 || st.ToursRun > p.Colony.Tours {
+			t.Errorf("island %d ran %d tours, outside [1,%d]", st.Island, st.ToursRun, p.Colony.Tours)
+		}
+	}
+}
+
+func TestLayerConvenience(t *testing.T) {
+	g := testGraph(t, 20, 3)
+	l, err := Layer(context.Background(), g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"antlayer/internal/batch"
+)
+
+// The async job API. POST /jobs accepts exactly what POST /layer accepts
+// (same query parameters, same DOT/edge-list body) but answers 202 with a
+// job id immediately; the layering computes on the job queue's worker
+// pool. GET /jobs/{id} polls the job through queued → running →
+// done|failed; a done job answers with byte-for-byte the body /layer
+// would have served (the two paths share Compute and the result cache).
+// DELETE /jobs/{id} cancels: a queued job fails without ever running, a
+// running one has its context cancelled and the colony aborts within one
+// ant walk per worker. A cancelled job reports state "failed" with a
+// 499-style reason, mirroring how /layer labels a vanished client.
+
+// jobStatus is the JSON envelope for every non-done job state (and for
+// POST/DELETE acknowledgements). Done jobs are served raw — the /layer
+// body — so clients reuse one parser for both paths.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is set for failed jobs. A cancellation reads
+	// "client closed request (499): ..." whether the job was still queued
+	// or already running.
+	Error string `json:"error,omitempty"`
+	// Poll is the URL to poll, echoed on submission for convenience.
+	Poll string `json:"poll,omitempty"`
+}
+
+// handleJobs serves POST /jobs: parse and validate synchronously (bad
+// requests fail now, not at poll time), then enqueue the computation.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.httpError(w, http.StatusMethodNotAllowed, "POST a DOT or edge-list graph to /jobs (then poll GET /jobs/{id})")
+		return
+	}
+	req, g, names, ok := s.parseLayerHTTP(w, r)
+	if !ok {
+		return
+	}
+	key := requestKey(req, g, names)
+	timeout := s.timeout(req)
+	job, err := s.jobs.Submit(func(ctx context.Context) ([]byte, error) {
+		// The deadline starts when a worker picks the job up, not at
+		// submission: a job is not punished for waiting out a long queue.
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		// The shared engine of handleLayer: identical jobs running at
+		// once — or a job identical to an in-flight /layer request —
+		// share one computation and the result cache. No semaphore: the
+		// job worker pool is the compute bound here.
+		body, _, _, err := s.computeCached(ctx, key, req, g, names, nil)
+		return body, err
+	})
+	if err != nil {
+		if errors.Is(err, batch.ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			s.httpError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.cfg.JobQueueDepth)
+			return
+		}
+		s.httpError(w, http.StatusServiceUnavailable, "job queue closed: %v", err)
+		return
+	}
+	s.logf("job submit %s n=%d m=%d algo=%s", job.ID(), g.N(), g.M(), req.Algo)
+	s.writeJobStatus(w, http.StatusAccepted, jobStatus{
+		ID:    job.ID(),
+		State: string(batch.StateQueued),
+		Poll:  "/jobs/" + job.ID(),
+	})
+}
+
+// handleJob serves GET (poll) and DELETE (cancel) on /jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		s.httpError(w, http.StatusNotFound, "want /jobs/{id}")
+		return
+	}
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "no such job %q (finished jobs are retained for a bounded time)", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJobSnapshot(w, job.Snapshot())
+	case http.MethodDelete:
+		s.jobs.Cancel(id)
+		// Cancelling a queued job settles it synchronously; a running one
+		// may take a moment to unwind. Either way, answer with the state
+		// as it is now.
+		s.writeJobSnapshot(w, job.Snapshot())
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		s.httpError(w, http.StatusMethodNotAllowed, "GET polls a job, DELETE cancels it")
+	}
+}
+
+// writeJobSnapshot renders a job state: done jobs as the raw /layer body,
+// everything else as a jobStatus envelope.
+func (s *Server) writeJobSnapshot(w http.ResponseWriter, snap batch.Snapshot) {
+	w.Header().Set("X-Job-State", string(snap.State))
+	if snap.State == batch.StateDone {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(snap.Result)
+		return
+	}
+	status := jobStatus{ID: snap.ID, State: string(snap.State)}
+	if snap.State == batch.StateFailed {
+		status.Error = jobFailureReason(snap)
+	}
+	s.writeJobStatus(w, http.StatusOK, status)
+}
+
+// jobFailureReason renders a failed job's error, labelling cancellations
+// and deadline expiries the way /layer's status codes would: 499-style
+// for a client-initiated cancel, 504-style for a deadline.
+func jobFailureReason(snap batch.Snapshot) string {
+	switch {
+	case snap.Canceled:
+		return fmt.Sprintf("client closed request (499): %v", snap.Err)
+	case errors.Is(snap.Err, context.DeadlineExceeded):
+		return fmt.Sprintf("deadline exceeded (504): %v", snap.Err)
+	case errors.Is(snap.Err, context.Canceled):
+		return fmt.Sprintf("server shutting down (503): %v", snap.Err)
+	default:
+		return snap.Err.Error()
+	}
+}
+
+func (s *Server) writeJobStatus(w http.ResponseWriter, code int, status jobStatus) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(status)
+}

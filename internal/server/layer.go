@@ -1,8 +1,11 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/url"
@@ -14,80 +17,111 @@ import (
 	"antlayer/internal/dot"
 )
 
-// renderMode selects the optional drawing embedded in a /layer response.
-type renderMode string
+// RenderMode selects the optional drawing embedded in a layer response.
+type RenderMode string
 
 const (
-	renderNone  renderMode = "none"
-	renderSVG   renderMode = "svg"
-	renderASCII renderMode = "ascii"
+	RenderNone  RenderMode = "none"
+	RenderSVG   RenderMode = "svg"
+	RenderASCII RenderMode = "ascii"
 )
 
-// layerRequest is a fully parsed and validated /layer request: everything
+// Request is a fully parsed and validated layering request: everything
 // that determines the response body, plus the per-request timeout (which
-// deliberately does not).
-type layerRequest struct {
-	format     string // dot | edges
-	algo       string // aco | lpl | minwidth | cg | ns
-	promote    bool
-	render     renderMode
-	dummyWidth float64
-	cgWidth    int
-	aco        antlayer.ACOParams
-	timeout    time.Duration // 0 = server default
+// deliberately does not). The HTTP daemon builds one per /layer or /jobs
+// call via ParseRequest; the `daglayer batch` CLI builds them from flags —
+// both paths feed Compute, so a batch result file holds byte-for-byte the
+// body the daemon would have served.
+type Request struct {
+	Format            string // dot | edges
+	Algo              string // aco | island | lpl | minwidth | cg | ns
+	Promote           bool
+	Render            RenderMode
+	DummyWidth        float64
+	CGWidth           int
+	ACO               antlayer.ACOParams
+	Islands           int           // island: colony count (0 = default)
+	MigrationInterval int           // island: tours between migrations (0 = default)
+	Timeout           time.Duration // 0 = server default
 }
 
-// parseLayerQuery decodes the query parameters of a /layer request.
+// DefaultRequest returns the request every unset parameter falls back to.
+func DefaultRequest() Request {
+	return Request{
+		Format:     "dot",
+		Algo:       "aco",
+		Render:     RenderNone,
+		DummyWidth: 1,
+		CGWidth:    4,
+		ACO:        antlayer.DefaultACOParams(),
+	}
+}
+
+// options maps the request onto the shared algorithm-constructor options.
+func (req Request) options() antlayer.Options {
+	return antlayer.Options{
+		DummyWidth:        req.DummyWidth,
+		CGWidth:           req.CGWidth,
+		ACO:               req.ACO,
+		Islands:           req.Islands,
+		MigrationInterval: req.MigrationInterval,
+	}
+}
+
+// ParseRequest decodes the query parameters of a /layer or /jobs request.
 // Unknown parameters are rejected so that typos ("tuors=100") fail loudly
 // instead of silently running with defaults.
-func parseLayerQuery(q url.Values) (layerRequest, error) {
-	req := layerRequest{
-		format:     "dot",
-		algo:       "aco",
-		render:     renderNone,
-		dummyWidth: 1,
-		cgWidth:    4,
-		aco:        antlayer.DefaultACOParams(),
-	}
+func ParseRequest(q url.Values) (Request, error) {
+	req := DefaultRequest()
 	var err error
 	for key, vals := range q {
 		v := vals[len(vals)-1]
 		switch key {
 		case "format":
-			req.format = v
+			req.Format = v
 		case "algo":
-			req.algo = v
+			req.Algo = v
 		case "promote":
-			req.promote, err = strconv.ParseBool(v)
+			req.Promote, err = strconv.ParseBool(v)
 		case "render":
-			req.render = renderMode(v)
+			req.Render = RenderMode(v)
 		case "dummy-width":
-			req.dummyWidth, err = strconv.ParseFloat(v, 64)
+			req.DummyWidth, err = strconv.ParseFloat(v, 64)
 		case "cg-width":
-			req.cgWidth, err = strconv.Atoi(v)
+			req.CGWidth, err = strconv.Atoi(v)
 		case "ants":
-			req.aco.Ants, err = strconv.Atoi(v)
+			req.ACO.Ants, err = strconv.Atoi(v)
 		case "tours":
-			req.aco.Tours, err = strconv.Atoi(v)
+			req.ACO.Tours, err = strconv.Atoi(v)
 		case "alpha":
-			req.aco.Alpha, err = strconv.ParseFloat(v, 64)
+			req.ACO.Alpha, err = strconv.ParseFloat(v, 64)
 		case "beta":
-			req.aco.Beta, err = strconv.ParseFloat(v, 64)
+			req.ACO.Beta, err = strconv.ParseFloat(v, 64)
 		case "seed":
-			req.aco.Seed, err = strconv.ParseInt(v, 10, 64)
+			req.ACO.Seed, err = strconv.ParseInt(v, 10, 64)
 		case "workers":
-			req.aco.Workers, err = strconv.Atoi(v)
+			req.ACO.Workers, err = strconv.Atoi(v)
 		case "stop-stagnant":
-			req.aco.StopAfterStagnantTours, err = strconv.Atoi(v)
+			req.ACO.StopAfterStagnantTours, err = strconv.Atoi(v)
 		case "width-bound":
-			req.aco.WidthBound, err = strconv.ParseFloat(v, 64)
+			req.ACO.WidthBound, err = strconv.ParseFloat(v, 64)
+		case "islands":
+			req.Islands, err = strconv.Atoi(v)
+			if err == nil && req.Islands < 0 {
+				err = fmt.Errorf("must be >= 0")
+			}
+		case "migration-interval":
+			req.MigrationInterval, err = strconv.Atoi(v)
+			if err == nil && req.MigrationInterval < 0 {
+				err = fmt.Errorf("must be >= 0")
+			}
 		case "timeout-ms":
 			var ms int64
 			ms, err = strconv.ParseInt(v, 10, 64)
 			if err == nil && ms <= 0 {
 				err = fmt.Errorf("must be positive")
 			}
-			req.timeout = time.Duration(ms) * time.Millisecond
+			req.Timeout = time.Duration(ms) * time.Millisecond
 		default:
 			return req, fmt.Errorf("unknown query parameter %q", key)
 		}
@@ -95,33 +129,33 @@ func parseLayerQuery(q url.Values) (layerRequest, error) {
 			return req, fmt.Errorf("query parameter %s=%q: %v", key, v, err)
 		}
 	}
-	switch req.format {
+	switch req.Format {
 	case "dot", "edges":
 	default:
-		return req, fmt.Errorf("unknown format %q (want dot|edges)", req.format)
+		return req, fmt.Errorf("unknown format %q (want dot|edges)", req.Format)
 	}
-	switch req.algo {
-	case "aco", "lpl", "minwidth", "cg", "ns":
+	switch req.Algo {
+	case "aco", "island", "lpl", "minwidth", "cg", "ns":
 	default:
-		return req, fmt.Errorf("unknown algo %q (want aco|lpl|minwidth|cg|ns)", req.algo)
+		return req, fmt.Errorf("unknown algo %q (want aco|island|lpl|minwidth|cg|ns)", req.Algo)
 	}
-	switch req.render {
-	case renderNone, renderSVG, renderASCII:
+	switch req.Render {
+	case RenderNone, RenderSVG, RenderASCII:
 	default:
-		return req, fmt.Errorf("unknown render %q (want none|svg|ascii)", req.render)
+		return req, fmt.Errorf("unknown render %q (want none|svg|ascii)", req.Render)
 	}
-	req.aco.DummyWidth = req.dummyWidth
+	req.ACO.DummyWidth = req.DummyWidth
 	return req, nil
 }
 
-// parseGraph decodes the request body in the request's format, returning
-// the graph and a per-vertex name slice (synthesised v<N> names for edge
-// lists, which carry none).
-func parseGraph(req layerRequest, body io.Reader) (*antlayer.Graph, []string, error) {
-	switch req.format {
+// ParseGraph decodes a graph in the request's format, returning the graph
+// and a per-vertex name slice (synthesised v<N> names for edge lists,
+// which carry none).
+func ParseGraph(req Request, body io.Reader) (*antlayer.Graph, []string, error) {
+	switch req.Format {
 	case "edges":
 		return dot.ReadEdgeListNamed(body)
-	default: // "dot", enforced by parseLayerQuery
+	default: // "dot", enforced by ParseRequest
 		return antlayer.ReadDOT(body)
 	}
 }
@@ -131,9 +165,9 @@ func parseGraph(req layerRequest, body io.Reader) (*antlayer.Graph, []string, er
 // every parameter that determines the response body.
 //
 // Two fields are deliberately excluded. Workers: the layering is
-// bitwise-identical at any worker count (PR 1), so requests differing only
-// in parallelism share a result. Timeout: it bounds the computation but
-// does not parameterise it.
+// bitwise-identical at any worker count (PR 1, and the island model keeps
+// the guarantee), so requests differing only in parallelism share a
+// result. Timeout: it bounds the computation but does not parameterise it.
 //
 // Edge order is canonicalised, so the same graph serialised in two edge
 // orders maps to one entry. Layer-width accumulation is floating-point and
@@ -141,7 +175,7 @@ func parseGraph(req layerRequest, body io.Reader) (*antlayer.Graph, []string, er
 // different (equally valid) layerings when computed from scratch; the
 // cache pins whichever was computed first, which keeps responses stable —
 // a feature, not a loss.
-func requestKey(req layerRequest, g *antlayer.Graph, names []string) string {
+func requestKey(req Request, g *antlayer.Graph, names []string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "g n=%d\n", g.N())
 	for v := 0; v < g.N(); v++ {
@@ -157,32 +191,48 @@ func requestKey(req layerRequest, g *antlayer.Graph, names []string) string {
 	for _, e := range edges {
 		fmt.Fprintf(h, "e %d %d\n", e.U, e.V)
 	}
-	aco := req.aco
+	aco := req.ACO
 	aco.Workers = 0
-	fmt.Fprintf(h, "p algo=%s promote=%t render=%s dummyWidth=%g cgWidth=%d aco=%+v\n",
-		req.algo, req.promote, req.render, req.dummyWidth, req.cgWidth, aco)
+	// The island knobs are canonicalised before hashing: for algo=island
+	// the resolved values (defaults applied) go in, so ?algo=island and
+	// ?algo=island&islands=4&migration-interval=2 — the same computation —
+	// share one entry; for every other algorithm they are zeroed, because
+	// they cannot influence the result.
+	islands, interval := 0, 0
+	if req.Algo == "island" {
+		ip := req.options().IslandOf()
+		islands, interval = ip.Islands, ip.MigrationInterval
+	}
+	fmt.Fprintf(h, "p algo=%s promote=%t render=%s dummyWidth=%g cgWidth=%d islands=%d interval=%d aco=%+v\n",
+		req.Algo, req.Promote, req.Render, req.DummyWidth, req.CGWidth,
+		islands, interval, aco)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// layerResponse is the JSON document /layer serves. Field order is fixed
-// by the struct, so equal computations marshal to equal bytes — the
-// property the cache-hit determinism test pins.
+// layerResponse is the JSON document /layer (and a done job) serves.
+// Field order is fixed by the struct, so equal computations marshal to
+// equal bytes — the property the cache-hit determinism test pins.
 type layerResponse struct {
 	Algo    string    `json:"algo"`
 	Promote bool      `json:"promote"`
 	Graph   graphInfo `json:"graph"`
 	Metrics layerInfo `json:"metrics"`
-	// Objective, BestTour and ToursRun are reported for algo=aco only:
-	// the colony's f = 1/(H+W) before promotion, the tour that found the
-	// best walk (0 = the LPL seed stood — a meaningful value, hence the
-	// pointer: omitempty would swallow it), and the tours actually run
-	// (early stopping can end the run before the configured count).
-	Objective float64    `json:"objective,omitempty"`
-	BestTour  *int       `json:"best_tour,omitempty"`
-	ToursRun  int        `json:"tours_run,omitempty"`
-	Layers    [][]string `json:"layers"`
-	SVG       string     `json:"svg,omitempty"`
-	ASCII     string     `json:"ascii,omitempty"`
+	// Objective, BestTour and ToursRun are reported for algo=aco and
+	// algo=island only: the colony's f = 1/(H+W) before promotion, the
+	// tour that found the best walk (0 = the LPL seed stood — a
+	// meaningful value, hence the pointer: omitempty would swallow it),
+	// and the tours actually run, summed over islands (early stopping can
+	// end a run before the configured count).
+	Objective float64 `json:"objective,omitempty"`
+	BestTour  *int    `json:"best_tour,omitempty"`
+	ToursRun  int     `json:"tours_run,omitempty"`
+	// BestIsland and Islands are reported for algo=island only: the ring
+	// index that produced the layering and the archipelago size.
+	BestIsland *int       `json:"best_island,omitempty"`
+	Islands    int        `json:"islands,omitempty"`
+	Layers     [][]string `json:"layers"`
+	SVG        string     `json:"svg,omitempty"`
+	ASCII      string     `json:"ascii,omitempty"`
 }
 
 type graphInfo struct {
@@ -197,6 +247,111 @@ type layerInfo struct {
 	WidthExcl   float64 `json:"width_excl"`
 	DummyCount  int     `json:"dummy_count"`
 	EdgeDensity int     `json:"edge_density"`
+}
+
+// Compute runs the requested algorithm under ctx and marshals the
+// response body — the one JSON shape shared by POST /layer, a done
+// /jobs/{id} and a `daglayer batch` result file. It reports the colony
+// tours executed (0 for the polynomial algorithms) so callers can feed
+// their metrics. Only the colony paths are long enough to be cancellable;
+// the polynomial algorithms run to completion well inside any sane
+// deadline.
+func Compute(ctx context.Context, req Request, g *antlayer.Graph, names []string) (body []byte, toursRun int, err error) {
+	resp := layerResponse{
+		Algo:    req.Algo,
+		Promote: req.Promote,
+		Graph:   graphInfo{Vertices: g.N(), Edges: g.M()},
+	}
+	var l *antlayer.Layering
+	switch req.Algo {
+	case "aco":
+		res, err := antlayer.AntColonyRunContext(ctx, g, req.ACO)
+		if err != nil {
+			return nil, 0, err
+		}
+		toursRun = len(res.History)
+		l = res.Layering
+		if req.Promote {
+			l = antlayer.Promote(l)
+		}
+		resp.Objective = res.Objective
+		bestTour := res.BestTour
+		resp.BestTour = &bestTour
+		resp.ToursRun = toursRun
+	case "island":
+		res, err := antlayer.IslandColonyRunContext(ctx, g, req.options().IslandOf())
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, st := range res.PerIsland {
+			toursRun += st.ToursRun
+		}
+		l = res.Layering
+		if req.Promote {
+			l = antlayer.Promote(l)
+		}
+		resp.Objective = res.Objective
+		bestTour := res.BestTour
+		resp.BestTour = &bestTour
+		resp.ToursRun = toursRun
+		bestIsland := res.BestIsland
+		resp.BestIsland = &bestIsland
+		resp.Islands = len(res.PerIsland)
+	default:
+		layerer, err := antlayer.LayererByName(ctx, req.Algo, req.options())
+		if err != nil {
+			return nil, 0, err
+		}
+		if req.Promote {
+			layerer = antlayer.WithPromotion(layerer)
+		}
+		l, err = layerer.Layer(g)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+
+	m := l.ComputeMetrics(req.DummyWidth)
+	resp.Metrics = layerInfo{
+		Height:      m.Height,
+		WidthIncl:   m.WidthIncl,
+		WidthExcl:   m.WidthExcl,
+		DummyCount:  m.DummyCount,
+		EdgeDensity: m.EdgeDensity,
+	}
+	resp.Layers = make([][]string, 0, len(l.Layers()))
+	for _, layer := range l.Layers() {
+		row := make([]string, len(layer))
+		for i, v := range layer {
+			row[i] = names[v]
+		}
+		resp.Layers = append(resp.Layers, row)
+	}
+
+	if req.Render != RenderNone {
+		d, err := antlayer.Draw(g, fixedLayering{l}, nil)
+		if err != nil {
+			return nil, 0, fmt.Errorf("render: %w", err)
+		}
+		var buf bytes.Buffer
+		switch req.Render {
+		case RenderSVG:
+			err = d.WriteSVG(&buf)
+			resp.SVG = buf.String()
+		case RenderASCII:
+			err = d.WriteASCII(&buf)
+			resp.ASCII = buf.String()
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("render: %w", err)
+		}
+	}
+
+	body, err = json.Marshal(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(body, '\n'), toursRun, nil
 }
 
 // fixedLayering adapts an already-computed layering to the Layerer

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"antlayer/internal/batch"
 )
 
 // latencyWindow is how many recent /layer latencies the quantile estimates
@@ -93,6 +95,10 @@ type MetricsSnapshot struct {
 	ToursRun      int64           `json:"tours_run"`
 	InFlight      int64           `json:"in_flight"`
 	Latency       LatencyQuantile `json:"latency_ms"`
+	// Jobs summarises the async /jobs queue: submitted/rejected totals,
+	// the queued/running gauges (queue depth is the queued gauge against
+	// the depth bound), and per-outcome counters.
+	Jobs batch.Stats `json:"jobs"`
 }
 
 // LatencyQuantile summarises the recent /layer latency distribution.
@@ -102,7 +108,7 @@ type LatencyQuantile struct {
 	P99   float64 `json:"p99"`
 }
 
-func (m *serverMetrics) snapshot(cacheEntries int) MetricsSnapshot {
+func (m *serverMetrics) snapshot(cacheEntries int, jobs batch.Stats) MetricsSnapshot {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -123,5 +129,6 @@ func (m *serverMetrics) snapshot(cacheEntries int) MetricsSnapshot {
 		ToursRun:      m.toursRun.Load(),
 		InFlight:      m.inFlight.Load(),
 		Latency:       LatencyQuantile{Count: count, P50: p50, P99: p99},
+		Jobs:          jobs,
 	}
 }

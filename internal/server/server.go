@@ -1,30 +1,35 @@
 // Package server exposes the layering algorithms as a long-running HTTP
 // service: POST a DOT or edge-list graph to /layer and get the layering,
 // the paper's quality metrics and optionally an SVG/ASCII drawing back as
-// JSON.
+// JSON — or submit the same request asynchronously to /jobs and poll.
 //
 // The daemon is built for repeated heavy traffic:
 //
 //   - Results are cached in an LRU keyed by the canonical (graph, params)
 //     hash. Colony runs are bitwise-deterministic (PR 1), so a hit returns
 //     exactly the bytes a recomputation would produce — repeated graphs
-//     are free.
-//   - A semaphore bounds the number of concurrently computing requests;
-//     waiting requests hold no worker resources and honour their deadline
-//     while queued.
-//   - Every request runs under a deadline (server default, per-request
-//     override, hard cap) threaded into the colony's tour loop via
-//     context.Context; an expired deadline aborts the run within one ant
-//     walk per worker and answers 504.
-//   - /healthz for liveness, /metrics for counters (requests, cache hit
-//     rate, tours run, p50/p99 latency), graceful shutdown via Serve's
-//     context.
+//     are free. /layer and /jobs share the cache.
+//   - A semaphore bounds the number of concurrently computing /layer
+//     requests; waiting requests hold no worker resources and honour
+//     their deadline while queued.
+//   - POST /jobs enqueues the request on a bounded job queue (202 + job
+//     id; 429 when the backlog is full) worked by a fixed pool, so
+//     clients submit many graphs without holding a connection open per
+//     request. GET /jobs/{id} polls — a done job answers with exactly
+//     the body /layer would have served — and DELETE /jobs/{id} cancels
+//     through the colony's context plumbing.
+//   - Every computation runs under a deadline (server default,
+//     per-request override, hard cap) threaded into the colony's tour
+//     loop via context.Context; an expired deadline aborts the run within
+//     one ant walk per worker and answers 504 (or fails the job).
+//   - /healthz for liveness plus build info, /metrics for counters
+//     (requests, cache hit rate, tours run, p50/p99 latency, job-queue
+//     depth and per-state counts), graceful shutdown via Serve's context.
 //
 // Start it with `daglayer serve`.
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,6 +42,8 @@ import (
 	"time"
 
 	"antlayer"
+	"antlayer/internal/batch"
+	"antlayer/internal/buildinfo"
 )
 
 // Config tunes the daemon. The zero value is usable: every field falls
@@ -61,6 +68,15 @@ type Config struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
 	// after its context is cancelled. Default 10s.
 	ShutdownGrace time.Duration
+	// JobWorkers is the worker-pool size of the async /jobs queue.
+	// 0 means GOMAXPROCS.
+	JobWorkers int
+	// JobQueueDepth bounds how many submitted jobs may wait for a worker;
+	// POST /jobs beyond it answers 429. 0 means 64.
+	JobQueueDepth int
+	// JobRetention bounds how many finished jobs stay pollable; the
+	// oldest is evicted first. 0 means 256.
+	JobRetention int
 	// Log receives one line per /layer request. Nil discards.
 	Log *log.Logger
 }
@@ -87,6 +103,15 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 64
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 256
+	}
 	return c
 }
 
@@ -97,6 +122,7 @@ type Server struct {
 	cache   *resultCache
 	flights *flightGroup
 	metrics *serverMetrics
+	jobs    *batch.Queue
 	sem     chan struct{}
 	mux     *http.ServeMux
 	// shuttingDown flips when Serve begins graceful shutdown, so aborted
@@ -112,13 +138,28 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheSize),
 		flights: newFlightGroup(),
 		metrics: newServerMetrics(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		jobs: batch.New(batch.Config{
+			Workers: cfg.JobWorkers,
+			Depth:   cfg.JobQueueDepth,
+			Retain:  cfg.JobRetention,
+		}),
+		sem: make(chan struct{}, cfg.MaxConcurrent),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/layer", s.handleLayer)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// Close releases the server's background resources — today the job
+// queue's worker pool, cancelling whatever is queued or running. Serve
+// calls it during graceful shutdown; call it directly when using Handler
+// without Serve.
+func (s *Server) Close() {
+	s.jobs.Close()
 }
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).
@@ -156,6 +197,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := hs.Shutdown(sctx)
 	cancelBase() // abort whatever outlived the grace period
+	s.Close()    // stop the job workers; queued and running jobs fail as cancelled
 	if err != nil {
 		return fmt.Errorf("server: shutdown: %w", err)
 	}
@@ -175,7 +217,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 
 // Metrics returns a point-in-time snapshot of the daemon's counters.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.metrics.snapshot(s.cache.Len())
+	return s.metrics.snapshot(s.cache.Len(), s.jobs.Stats())
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -184,9 +226,19 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// healthzResponse is the JSON /healthz serves: liveness plus the build
+// description of the running binary, so deployed instances can be told
+// apart from the outside.
+type healthzResponse struct {
+	Status string         `json:"status"`
+	Build  buildinfo.Info `json:"build"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(healthzResponse{Status: "ok", Build: buildinfo.Get()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -205,8 +257,108 @@ func (s *Server) httpError(w http.ResponseWriter, status int, format string, arg
 	http.Error(w, fmt.Sprintf(format, args...), status)
 }
 
-// handleLayer is the daemon's main endpoint: parse, consult the cache,
-// otherwise compute under the semaphore and the request deadline.
+// parseLayerHTTP decodes the query and body of a /layer or /jobs request,
+// answering the error response itself; ok reports whether the caller got
+// a usable request.
+func (s *Server) parseLayerHTTP(w http.ResponseWriter, r *http.Request) (req Request, g *antlayer.Graph, names []string, ok bool) {
+	req, err := ParseRequest(r.URL.Query())
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return req, nil, nil, false
+	}
+	g, names, err = ParseGraph(req, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "graph larger than %d bytes", tooLarge.Limit)
+			return req, nil, nil, false
+		}
+		s.httpError(w, http.StatusBadRequest, "bad %s input: %v", req.Format, err)
+		return req, nil, nil, false
+	}
+	return req, g, names, true
+}
+
+// computeCached serves a request body from the cache, an identical
+// in-flight computation, or a fresh Compute — the one engine behind the
+// synchronous /layer handler and the async job closure, which is what
+// makes their bodies byte-identical by construction.
+//
+// Cache, then single-flight: if an identical request is already
+// computing, wait for its result instead of running a duplicate colony.
+// A successful leader stores to the cache before releasing its flight,
+// so a new leader's re-check through the loop cannot miss a completed
+// result. acquire, when non-nil, runs after winning flight leadership
+// and before computing (the /layer compute semaphore; jobs pass nil —
+// their worker pool is the bound); it returns a release callback or
+// ctx's error.
+//
+// source is "hit", "coalesced" or "miss" on success; stage names what
+// was happening when err struck, in the vocabulary deadlineError logs.
+func (s *Server) computeCached(ctx context.Context, key string, req Request, g *antlayer.Graph, names []string, acquire func(context.Context) (func(), error)) (body []byte, source, stage string, err error) {
+	for {
+		if body, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return body, "hit", "", nil
+		}
+		leader, fl := s.flights.join(key)
+		if !leader {
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					s.metrics.coalesced.Add(1)
+					return fl.body, "coalesced", "", nil
+				}
+				// The leader failed — possibly on a deadline shorter
+				// than ours. Loop: re-check the cache, then try leading.
+				continue
+			case <-ctx.Done():
+				return nil, "", "waiting on an identical in-flight request", ctx.Err()
+			}
+		}
+		release := func() {}
+		if acquire != nil {
+			release, err = acquire(ctx)
+			if err != nil {
+				s.flights.finish(key, fl, nil, err)
+				return nil, "", "queued for a compute slot", err
+			}
+		}
+		s.metrics.inFlight.Add(1)
+		body, toursRun, err := Compute(ctx, req, g, names)
+		s.metrics.toursRun.Add(int64(toursRun))
+		s.metrics.inFlight.Add(-1)
+		release()
+		if err != nil {
+			s.flights.finish(key, fl, nil, err)
+			return nil, "", "computing", err
+		}
+		s.cache.Put(key, body)
+		// The miss is counted only now, when a body was computed and
+		// stored: the hit rate then describes serviceable traffic,
+		// undistorted by requests that failed or timed out before
+		// producing anything.
+		s.metrics.cacheMisses.Add(1)
+		s.flights.finish(key, fl, body, nil)
+		return body, "miss", "", nil
+	}
+}
+
+// acquireSem is the /layer compute bound: the semaphore caps computation,
+// not connections — a queued request costs one blocked goroutine and
+// still honours its deadline.
+func (s *Server) acquireSem(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handleLayer is the daemon's synchronous endpoint: parse, then serve
+// through the shared cache/single-flight/compute engine under the
+// semaphore and the request deadline.
 func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -217,100 +369,40 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.observeLatency(time.Since(start)) }()
 
-	req, err := parseLayerQuery(r.URL.Query())
-	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad request: %v", err)
+	req, g, names, ok := s.parseLayerHTTP(w, r)
+	if !ok {
 		return
 	}
-	g, names, err := parseGraph(req, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.httpError(w, http.StatusRequestEntityTooLarge, "graph larger than %d bytes", tooLarge.Limit)
-			return
-		}
-		s.httpError(w, http.StatusBadRequest, "bad %s input: %v", req.format, err)
-		return
-	}
-
 	key := requestKey(req, g, names)
 	w.Header().Set("X-Cache-Key", key)
 
-	timeout := s.cfg.DefaultTimeout
-	if req.timeout > 0 {
-		timeout = req.timeout
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
 	defer cancel()
 
-	// Cache, then single-flight: if an identical request is already
-	// computing, wait for its result instead of running a duplicate
-	// colony. A successful leader stores to the cache before releasing
-	// its flight, so a new leader's re-check through this loop cannot
-	// miss a completed result.
-	var fl *flight
-	for {
-		if body, ok := s.cache.Get(key); ok {
-			s.metrics.cacheHits.Add(1)
-			s.logf("layer hit  n=%d m=%d algo=%s %s", g.N(), g.M(), req.algo, time.Since(start).Round(time.Microsecond))
-			s.writeBody(w, body, "hit")
-			return
-		}
-		var leader bool
-		leader, fl = s.flights.join(key)
-		if leader {
-			break
-		}
-		select {
-		case <-fl.done:
-			if fl.err == nil {
-				s.metrics.coalesced.Add(1)
-				s.logf("layer coalesced n=%d m=%d algo=%s %s", g.N(), g.M(), req.algo, time.Since(start).Round(time.Microsecond))
-				s.writeBody(w, fl.body, "coalesced")
-				return
-			}
-			// The leader failed — possibly on a deadline shorter than
-			// ours. Loop: re-check the cache, then try leading.
-		case <-ctx.Done():
-			s.deadlineError(w, r, ctx.Err(), "waiting on an identical in-flight request")
-			return
-		}
-	}
-
-	// The semaphore bounds computation, not connections: a queued request
-	// costs one blocked goroutine and still honours its deadline.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.flights.finish(key, fl, nil, ctx.Err())
-		s.deadlineError(w, r, ctx.Err(), "queued for a compute slot")
-		return
-	}
-
-	s.metrics.inFlight.Add(1)
-	body, err := s.compute(ctx, req, g, names)
-	s.metrics.inFlight.Add(-1)
+	body, source, stage, err := s.computeCached(ctx, key, req, g, names, s.acquireSem)
 	if err != nil {
-		s.flights.finish(key, fl, nil, err)
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.deadlineError(w, r, err, "computing")
+			s.deadlineError(w, r, err, stage)
 			return
 		}
 		s.httpError(w, http.StatusBadRequest, "layering failed: %v", err)
 		return
 	}
-	s.cache.Put(key, body)
-	// The miss is counted only now, when a body was computed and stored:
-	// the hit rate then describes serviceable traffic, undistorted by
-	// requests that failed or timed out before producing anything.
-	s.metrics.cacheMisses.Add(1)
-	s.flights.finish(key, fl, body, nil)
-	s.logf("layer miss n=%d m=%d algo=%s %s", g.N(), g.M(), req.algo, time.Since(start).Round(time.Microsecond))
-	s.writeBody(w, body, "miss")
+	s.logf("layer %-9s n=%d m=%d algo=%s %s", source, g.N(), g.M(), req.Algo, time.Since(start).Round(time.Microsecond))
+	s.writeBody(w, body, source)
+}
+
+// timeout resolves a request's computation deadline: the server default,
+// overridden per-request, capped by MaxTimeout.
+func (s *Server) timeout(req Request) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if req.Timeout > 0 {
+		timeout = req.Timeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
 }
 
 // deadlineError maps a context error: 504 when the request's deadline
@@ -331,85 +423,4 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheStatus strin
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheStatus)
 	_, _ = w.Write(body)
-}
-
-// compute runs the requested algorithm under ctx and marshals the
-// response. Only the ACO path is long enough to be cancellable; the
-// polynomial algorithms run to completion well inside any sane deadline.
-func (s *Server) compute(ctx context.Context, req layerRequest, g *antlayer.Graph, names []string) ([]byte, error) {
-	resp := layerResponse{
-		Algo:    req.algo,
-		Promote: req.promote,
-		Graph:   graphInfo{Vertices: g.N(), Edges: g.M()},
-	}
-	var l *antlayer.Layering
-	if req.algo == "aco" {
-		res, err := antlayer.AntColonyRunContext(ctx, g, req.aco)
-		if err != nil {
-			return nil, err
-		}
-		s.metrics.toursRun.Add(int64(len(res.History)))
-		l = res.Layering
-		if req.promote {
-			l = antlayer.Promote(l)
-		}
-		resp.Objective = res.Objective
-		bestTour := res.BestTour
-		resp.BestTour = &bestTour
-		resp.ToursRun = len(res.History)
-	} else {
-		layerer, err := antlayer.LayererByName(ctx, req.algo, req.dummyWidth, req.cgWidth, req.aco)
-		if err != nil {
-			return nil, err
-		}
-		if req.promote {
-			layerer = antlayer.WithPromotion(layerer)
-		}
-		l, err = layerer.Layer(g)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	m := l.ComputeMetrics(req.dummyWidth)
-	resp.Metrics = layerInfo{
-		Height:      m.Height,
-		WidthIncl:   m.WidthIncl,
-		WidthExcl:   m.WidthExcl,
-		DummyCount:  m.DummyCount,
-		EdgeDensity: m.EdgeDensity,
-	}
-	resp.Layers = make([][]string, 0, len(l.Layers()))
-	for _, layer := range l.Layers() {
-		row := make([]string, len(layer))
-		for i, v := range layer {
-			row[i] = names[v]
-		}
-		resp.Layers = append(resp.Layers, row)
-	}
-
-	if req.render != renderNone {
-		d, err := antlayer.Draw(g, fixedLayering{l}, nil)
-		if err != nil {
-			return nil, fmt.Errorf("render: %w", err)
-		}
-		var buf bytes.Buffer
-		switch req.render {
-		case renderSVG:
-			err = d.WriteSVG(&buf)
-			resp.SVG = buf.String()
-		case renderASCII:
-			err = d.WriteASCII(&buf)
-			resp.ASCII = buf.String()
-		}
-		if err != nil {
-			return nil, fmt.Errorf("render: %w", err)
-		}
-	}
-
-	body, err := json.Marshal(resp)
-	if err != nil {
-		return nil, err
-	}
-	return append(body, '\n'), nil
 }

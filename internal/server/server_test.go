@@ -38,6 +38,9 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	// httptest.Close stops the listener but not the job-queue workers
+	// every Server now owns; Close does.
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -413,10 +416,23 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, _ := io.ReadAll(resp.Body)
+	var health struct {
+		Status string `json:"status"`
+		Build  struct {
+			Version string `json:"version"`
+			Go      string `json:"go"`
+		} `json:"build"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
 	resp.Body.Close()
-	if resp.StatusCode != 200 || strings.TrimSpace(string(data)) != "ok" {
-		t.Fatalf("healthz: %d %q", resp.StatusCode, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+	if health.Build.Version == "" {
+		t.Fatal("healthz reports no build version")
 	}
 
 	postLayer(t, ts, "tours=3", demoDOT)
