@@ -51,6 +51,20 @@ type IslandParams = island.Params
 // colony result plus per-island statistics.
 type IslandResult = island.Result
 
+// IslandMigrator is the island model's migration seam: it owns the epoch
+// barrier and the elite exchange of an archipelago run. The default (a
+// nil IslandParams.Migrator) is the in-process elite ring; the daemon's
+// shard transport implements the same interface over a network so the
+// archipelago spans processes, and tests inject fakes here. Whatever the
+// transport, the layering produced is the same bitwise-deterministic
+// function of (graph, IslandParams).
+type IslandMigrator = island.Migrator
+
+// IslandElite is one island's contribution to a migration barrier: its
+// best stretched-space assignment so far and the objective that earned
+// it.
+type IslandElite = island.Elite
+
 // MinWidthParams configures a single MinWidth run.
 type MinWidthParams = minwidth.Params
 
@@ -155,6 +169,10 @@ type Options struct {
 	// MigrationInterval is the tours between elite migrations of
 	// "island". 0 means the DefaultIslandParams interval.
 	MigrationInterval int
+	// Migrator, when non-nil, replaces the in-process elite ring of
+	// "island" — the pluggable-transport seam (see IslandMigrator). It
+	// never changes the layering produced, only where the islands run.
+	Migrator IslandMigrator
 }
 
 // IslandOf assembles the island parameters the "island" algorithm runs
@@ -169,6 +187,7 @@ func (o Options) IslandOf() IslandParams {
 	if o.MigrationInterval > 0 {
 		p.MigrationInterval = o.MigrationInterval
 	}
+	p.Migrator = o.Migrator
 	return p
 }
 

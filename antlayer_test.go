@@ -2,11 +2,14 @@ package antlayer
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"antlayer/internal/graphgen"
+	"antlayer/internal/island"
 )
 
 // buildDemo constructs the quickstart dependency DAG.
@@ -143,4 +146,48 @@ func TestEndToEndMetricsShape(t *testing.T) {
 	if float64(am.Height)+am.WidthIncl > float64(lm.Height)+lm.WidthIncl {
 		t.Fatal("ACO H+W worse than LPL")
 	}
+}
+
+// TestOptionsMigratorSeam pins the public pluggable-transport knob: a
+// custom IslandMigrator wrapping the default ring plugs in through
+// Options and changes nothing about the layering.
+func TestOptionsMigratorSeam(t *testing.T) {
+	g := buildDemo(t)
+	ctx := context.Background()
+	opts := Options{ACO: DefaultACOParams(), Islands: 2, MigrationInterval: 1}
+	base, err := LayererByName(ctx, "island", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring := island.NewRing(2)
+	calls := 0
+	opts.Migrator = migratorFunc(func(ctx context.Context, epoch int, local []IslandElite) ([]IslandElite, bool, error) {
+		calls++
+		return ring.Exchange(ctx, epoch, local)
+	})
+	custom, err := LayererByName(ctx, "island", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := custom.Layer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("custom migrator never consulted")
+	}
+	if fmt.Sprint(got.Layers()) != fmt.Sprint(want.Layers()) {
+		t.Errorf("custom migrator changed the layering: %v vs %v", got.Layers(), want.Layers())
+	}
+}
+
+type migratorFunc func(ctx context.Context, epoch int, local []IslandElite) ([]IslandElite, bool, error)
+
+func (f migratorFunc) Exchange(ctx context.Context, epoch int, local []IslandElite) ([]IslandElite, bool, error) {
+	return f(ctx, epoch, local)
 }

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestClusterEndToEnd is the multi-process acceptance test: a coordinator
+// daemon plus real worker processes on loopback must answer a
+// distributed island request byte-identically to the same daemon's
+// in-process answer — first with 2 workers, then with 3 (a different
+// partition of the islands). The cache is disabled so every answer is a
+// real computation.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	bin := buildDaglayer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-addr", "127.0.0.1:0", "-coordinator", "127.0.0.1:0", "-cache", "-1")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cancel() // deferred LIFO: kill the process tree before waiting on it
+		_ = serve.Wait()
+	}()
+	httpAddr, coordAddr := scanServeAddrs(t, stdout)
+	baseURL := "http://" + httpAddr
+
+	startWorker := func(name string) {
+		w := exec.CommandContext(ctx, bin, "worker", "-coordinator", coordAddr, "-name", name)
+		w.Stdout = io.Discard
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = w.Wait() }()
+	}
+	startWorker("w1")
+	startWorker("w2")
+	waitFleet(t, baseURL, 2)
+
+	const query = "algo=island&islands=4&tours=3&migration-interval=1&seed=9"
+	want := postLayerHTTP(t, baseURL, query, demoDOT)
+	got2 := postLayerHTTP(t, baseURL, query+"&distributed=true", demoDOT)
+	if !bytes.Equal(got2, want) {
+		t.Errorf("2-worker distributed body diverges from in-process:\n%s\n%s", got2, want)
+	}
+
+	startWorker("w3")
+	waitFleet(t, baseURL, 3)
+	got3 := postLayerHTTP(t, baseURL, query+"&distributed=true", demoDOT)
+	if !bytes.Equal(got3, want) {
+		t.Errorf("3-worker distributed body diverges from in-process:\n%s\n%s", got3, want)
+	}
+
+	// The cluster endpoint accounted the runs and shards.
+	var cluster struct {
+		Workers   int `json:"workers"`
+		Runs      int64
+		Epochs    int64
+		PerWorker []struct {
+			Name   string `json:"name"`
+			Epochs int64  `json:"epochs"`
+		} `json:"per_worker"`
+	}
+	getJSON(t, baseURL+"/cluster", &cluster)
+	if cluster.Workers != 3 || cluster.Runs != 2 || cluster.Epochs == 0 {
+		t.Errorf("cluster metrics: %+v", cluster)
+	}
+}
+
+// buildDaglayer compiles the daglayer binary once per test binary.
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+func buildDaglayer(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "daglayer-e2e-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "daglayer")
+		cmd := exec.Command("go", "build", "-o", builtBin, ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+var (
+	serveAddrRE = regexp.MustCompile(`(?m)^daglayer: .*\blistening on (\S+)$`)
+	coordAddrRE = regexp.MustCompile(`coordinator listening on (\S+)$`)
+)
+
+// scanServeAddrs reads the daemon's stdout until both the HTTP and the
+// coordinator listen addresses have been logged, then keeps draining the
+// pipe in the background.
+func scanServeAddrs(t *testing.T, stdout io.Reader) (httpAddr, coordAddr string) {
+	t.Helper()
+	sc := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(30 * time.Second)
+	for (httpAddr == "" || coordAddr == "") && sc.Scan() {
+		line := sc.Text()
+		if m := coordAddrRE.FindStringSubmatch(line); m != nil {
+			coordAddr = m[1]
+			continue
+		}
+		if m := serveAddrRE.FindStringSubmatch(line); m != nil {
+			httpAddr = m[1]
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if httpAddr == "" || coordAddr == "" {
+		t.Fatalf("daemon never logged its addresses (http=%q coord=%q, scan err %v)", httpAddr, coordAddr, sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return httpAddr, coordAddr
+}
+
+func waitFleet(t *testing.T, baseURL string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cluster struct {
+			Workers int `json:"workers"`
+		}
+		resp, err := http.Get(baseURL + "/cluster")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&cluster)
+			resp.Body.Close()
+		}
+		if err == nil && cluster.Workers == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached %d workers (last err %v, have %d)", n, err, cluster.Workers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postLayerHTTP(t *testing.T, baseURL, query, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/layer?"+query, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /layer?%s: status %d: %s", query, resp.StatusCode, data)
+	}
+	return data
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,11 +1,13 @@
 // Command daglayer layers DAGs with a chosen algorithm — as a one-shot
-// CLI, a directory batch runner, or a long-running HTTP daemon.
+// CLI, a directory batch runner, a long-running HTTP daemon, or a
+// cluster worker hosting islands for a coordinator daemon.
 //
 // Usage:
 //
 //	daglayer [layer] [flags]   layer one graph from a DOT file (or stdin)
 //	daglayer batch [flags] dir layer every .dot/.edges file in dir
 //	daglayer serve  [flags]    run the layering HTTP service
+//	daglayer worker [flags]    join a coordinator's archipelago
 //	daglayer version           print the build version (also: -version)
 //	daglayer help              print this overview
 //
@@ -30,9 +32,18 @@
 // /layer, asynchronously via the /jobs queue), caches results and bounds
 // every request by a deadline (see internal/server):
 //
-//	daglayer serve [-addr :8645] [-cache 256] [-max-concurrent 0]
-//	               [-timeout 30s] [-max-timeout 2m] [-job-workers 0]
-//	               [-job-queue 64] [-job-retention 256] [-quiet]
+//	daglayer serve [-addr :8645] [-cache 256] [-cache-bytes 67108864]
+//	               [-max-concurrent 0] [-timeout 30s] [-max-timeout 2m]
+//	               [-job-workers 0] [-job-queue 64] [-job-retention 256]
+//	               [-job-expiry 0] [-coordinator ""] [-quiet]
+//
+// A daemon started with -coordinator also coordinates a distributed
+// archipelago: worker processes register with it and island runs with
+// distributed=true shard across them, returning byte-identical results
+// to in-process runs (README "Cluster"):
+//
+//	daglayer serve -coordinator :8650 &
+//	daglayer worker -coordinator host:8650 [-name w1] [-retry 2s]
 package main
 
 import (
@@ -55,6 +66,7 @@ const modes = `modes:
   layer    layer one graph and print metrics (default; see 'daglayer layer -h')
   batch    layer every .dot/.edges file in a directory (see 'daglayer batch -h')
   serve    run the layering HTTP daemon (see 'daglayer serve -h')
+  worker   join a coordinator daemon's archipelago (see 'daglayer worker -h')
   version  print the build version (also: -version)
   help     print this overview`
 
@@ -85,6 +97,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			return runBatch(ctx, args[1:], stdout)
 		case "serve":
 			return runServe(ctx, args[1:], stdout)
+		case "worker":
+			return runWorker(ctx, args[1:], stdout)
 		case "version":
 			return printVersion(stdout)
 		case "help":

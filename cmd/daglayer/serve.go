@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"time"
 
 	"antlayer/internal/server"
+	"antlayer/internal/shard"
 )
 
 // runServe starts the layering HTTP daemon and blocks until ctx is
@@ -16,17 +18,20 @@ import (
 func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("daglayer serve", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8645", "listen address")
-		cacheSize  = fs.Int("cache", 256, "result cache capacity in responses (negative disables)")
-		maxConc    = fs.Int("max-concurrent", 0, "max concurrently computing requests (0 = GOMAXPROCS)")
-		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "cap on the per-request timeout-ms override")
-		maxBody    = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
-		grace      = fs.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests")
-		jobWorkers = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
-		jobQueue   = fs.Int("job-queue", 64, "async job backlog bound; POST /jobs beyond it answers 429")
-		jobRetain  = fs.Int("job-retention", 256, "finished jobs kept pollable before eviction")
-		quiet      = fs.Bool("quiet", false, "suppress per-request logging")
+		addr        = fs.String("addr", ":8645", "listen address")
+		cacheSize   = fs.Int("cache", 256, "result cache capacity in responses (negative disables)")
+		cacheBytes  = fs.Int64("cache-bytes", 64<<20, "result cache body-byte budget; bodies over an eighth of it are never cached (negative = entry-counted only)")
+		maxConc     = fs.Int("max-concurrent", 0, "max concurrently computing requests (0 = GOMAXPROCS)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = fs.Duration("max-timeout", 2*time.Minute, "cap on the per-request timeout-ms override")
+		maxBody     = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		grace       = fs.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests")
+		jobWorkers  = fs.Int("job-workers", 0, "async job worker pool size (0 = GOMAXPROCS)")
+		jobQueue    = fs.Int("job-queue", 64, "async job backlog bound; POST /jobs beyond it answers 429")
+		jobRetain   = fs.Int("job-retention", 256, "finished jobs kept pollable before eviction")
+		jobExpiry   = fs.Duration("job-expiry", 0, "additionally evict finished jobs older than this (0 = count bound only)")
+		coordinator = fs.String("coordinator", "", "also run a shard coordinator on this address (e.g. :8650); workers join with 'daglayer worker'")
+		quiet       = fs.Bool("quiet", false, "suppress per-request logging")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `usage: daglayer serve [flags]
@@ -34,12 +39,22 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 Runs the layering HTTP daemon:
 
   POST   /layer      layer a DOT (or edge-list) graph; see README "Serving"
+                     (add distributed=true on a coordinator to shard
+                     algo=island over the worker fleet)
   POST   /jobs       same request, asynchronously: 202 + job id
+  GET    /jobs       list tracked jobs (?state=queued|running|done|failed)
   GET    /jobs/{id}  poll a job (done jobs answer the /layer body)
   DELETE /jobs/{id}  cancel a job
   GET    /healthz    liveness + build info
-  GET    /metrics    counters: requests, cache hit rate, tours, p50/p99
-                     latency, job queue depth and per-state counts
+  GET    /metrics    counters: requests, cache hit rate + bytes, tours,
+                     p50/p99 latency, job queue depth and per-state
+                     counts, cluster epochs/migrations
+  GET    /cluster    the shard coordinator's fleet (coordinator only)
+
+With -coordinator the daemon also owns a distributed archipelago: worker
+processes ('daglayer worker -coordinator host:port') register on that
+address and island runs with distributed=true shard across them,
+byte-identical to in-process runs (README "Cluster").
 
 flags:
 `)
@@ -51,6 +66,7 @@ flags:
 	cfg := server.Config{
 		Addr:           *addr,
 		CacheSize:      *cacheSize,
+		CacheMaxBytes:  *cacheBytes,
 		MaxConcurrent:  *maxConc,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
@@ -59,9 +75,31 @@ flags:
 		JobWorkers:     *jobWorkers,
 		JobQueueDepth:  *jobQueue,
 		JobRetention:   *jobRetain,
+		JobExpiry:      *jobExpiry,
 	}
 	if !*quiet {
 		cfg.Log = log.New(stdout, "daglayer: ", log.LstdFlags)
+	}
+	if *coordinator != "" {
+		// The coordinator listens on its own port with its own accept
+		// loop; the daemon only uses it for distributed compute and
+		// metrics. Both shut down with ctx.
+		coord := shard.NewCoordinator(shard.CoordinatorConfig{Log: cfg.Log})
+		ln, err := net.Listen("tcp", *coordinator)
+		if err != nil {
+			return fmt.Errorf("coordinator: %w", err)
+		}
+		if cfg.Log != nil {
+			cfg.Log.Printf("coordinator listening on %s", ln.Addr())
+		}
+		coordErr := make(chan error, 1)
+		go func() { coordErr <- coord.Serve(ctx, ln) }()
+		cfg.Coordinator = coord
+		serveErr := server.New(cfg).ListenAndServe(ctx)
+		if err := <-coordErr; err != nil && serveErr == nil {
+			return fmt.Errorf("coordinator: %w", err)
+		}
+		return serveErr
 	}
 	return server.New(cfg).ListenAndServe(ctx)
 }

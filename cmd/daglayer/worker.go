@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"antlayer/internal/shard"
+)
+
+// runWorker joins a coordinator's archipelago: dial, register, and host
+// assigned island slices until ctx is cancelled. A lost connection is
+// retried with a fixed backoff — the coordinator expels dead workers and
+// re-registration is all it takes to rejoin the fleet.
+func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("daglayer worker", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator address to register with (required), e.g. host:8650")
+		name        = fs.String("name", "", "worker name in the coordinator's logs and /cluster (default: worker-<id>)")
+		retry       = fs.Duration("retry", 2*time.Second, "backoff between reconnect attempts; 0 exits on the first connection error")
+		quiet       = fs.Bool("quiet", false, "suppress per-run logging")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: daglayer worker -coordinator host:port [flags]
+
+Joins a layering cluster as a worker process: registers with the
+coordinator (a daemon started with 'daglayer serve -coordinator'), then
+hosts the islands assigned to it — the coordinator exchanges elites with
+every worker at each migration barrier, so the cluster's answer is
+byte-identical to a single-process run (see README "Cluster").
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		fs.Usage()
+		return fmt.Errorf("worker: -coordinator is required")
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(stdout, "daglayer worker: ", log.LstdFlags)
+	}
+	w := shard.NewWorker(shard.WorkerConfig{Name: *name, Log: logger})
+	for {
+		err := w.Run(ctx, *coordinator)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if *retry <= 0 {
+			return err
+		}
+		if logger != nil {
+			logger.Printf("connection to %s lost (%v); retrying in %s", *coordinator, err, *retry)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*retry):
+		}
+	}
+}

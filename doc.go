@@ -49,6 +49,13 @@
 // guarantee carries over unchanged; see README.md ("The island model")
 // and DESIGN.md §8.
 //
+// The ring itself is pluggable: IslandParams.Migrator (an IslandMigrator)
+// owns the migration barrier and the elite exchange, and the daemon's
+// shard transport implements it over a network so the archipelago spans
+// worker processes — byte-identical to the in-process run at any worker
+// count and partition (`daglayer serve -coordinator` plus `daglayer
+// worker`; see README.md "Cluster" and DESIGN.md §10).
+//
 // # Cancellation and serving
 //
 // Colony runs accept a context: AntColonyContext and AntColonyRunContext

@@ -12,7 +12,10 @@
 // (the ant colony's RunContext observes the context within one ant walk
 // per worker, so cancellation is prompt). Terminal jobs are retained for
 // polling, bounded by Config.Retain — the oldest terminal job is evicted
-// first, so memory stays bounded no matter how many jobs flow through.
+// first, so memory stays bounded no matter how many jobs flow through —
+// and, when Config.ExpireAfter is set, by age as well (a background
+// sweep evicts terminal jobs past the TTL). List enumerates the tracked
+// jobs, optionally filtered by state.
 //
 // All methods are safe for concurrent use.
 package batch
@@ -22,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -70,6 +74,12 @@ type Config struct {
 	// Get; the oldest is evicted first. 0 means 256; negative retains
 	// nothing.
 	Retain int
+	// ExpireAfter, when positive, additionally bounds how long a
+	// terminal job stays pollable: a background sweep evicts terminal
+	// jobs whose finish time is at least this old, so a mostly idle
+	// queue does not pin day-old results in memory waiting for the
+	// count bound. 0 disables age-based expiry.
+	ExpireAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -88,8 +98,9 @@ func (c Config) withDefaults() Config {
 // Job is one unit of work owned by a Queue. All accessors return
 // consistent snapshots; Wait blocks until the job is terminal.
 type Job struct {
-	id string
-	fn Func
+	id  string
+	seq uint64 // submission order; List sorts by it (ids zero-pad out at 10^6)
+	fn  Func
 
 	mu        sync.Mutex
 	state     State
@@ -167,6 +178,9 @@ type Stats struct {
 	Done     int64 `json:"done"`
 	Failed   int64 `json:"failed"`
 	Canceled int64 `json:"canceled"`
+	// Expired counts terminal jobs evicted by the age-based retention
+	// sweep (count-bound evictions are not included).
+	Expired int64 `json:"expired"`
 	// Depth is the backlog bound Submit enforces.
 	Depth int `json:"depth"`
 }
@@ -179,6 +193,8 @@ type Queue struct {
 	cancelBase context.CancelFunc
 	pending    chan *Job
 	wg         sync.WaitGroup
+	sweepStop  chan struct{} // nil when age-based expiry is off
+	sweepDone  chan struct{}
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -205,7 +221,68 @@ func New(cfg Config) *Queue {
 		q.wg.Add(1)
 		go q.worker()
 	}
+	if cfg.ExpireAfter > 0 {
+		q.sweepStop = make(chan struct{})
+		q.sweepDone = make(chan struct{})
+		go q.sweeper()
+	}
 	return q
+}
+
+// sweeper periodically evicts terminal jobs older than ExpireAfter. The
+// tick is a quarter of the TTL (clamped to [10ms, 1m]), so a job
+// overstays its retention by at most ~25%.
+func (q *Queue) sweeper() {
+	defer close(q.sweepDone)
+	tick := q.cfg.ExpireAfter / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.sweepStop:
+			return
+		case now := <-t.C:
+			q.expire(now)
+		}
+	}
+}
+
+// expire evicts terminal jobs whose finish time is at least ExpireAfter
+// before now, oldest first, and reports how many went. The retention
+// list is ordered by finish time (finish appends), so the scan stops at
+// the first survivor.
+func (q *Queue) expire(now time.Time) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ttl := q.cfg.ExpireAfter
+	if ttl <= 0 {
+		return 0
+	}
+	n := 0
+	for len(q.retention) > 0 {
+		j, ok := q.jobs[q.retention[0]]
+		if !ok { // already gone (should not happen; stay robust)
+			q.retention = q.retention[1:]
+			continue
+		}
+		j.mu.Lock()
+		expired := now.Sub(j.finished) >= ttl
+		j.mu.Unlock()
+		if !expired {
+			break
+		}
+		delete(q.jobs, j.id)
+		q.retention = q.retention[1:]
+		q.stats.Expired++
+		n++
+	}
+	return n
 }
 
 // Submit enqueues fn and returns its job. It fails fast with ErrQueueFull
@@ -219,6 +296,7 @@ func (q *Queue) Submit(fn Func) (*Job, error) {
 	q.seq++
 	j := &Job{
 		id:        fmt.Sprintf("j%06d", q.seq),
+		seq:       q.seq,
 		fn:        fn,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -246,6 +324,32 @@ func (q *Queue) Get(id string) (*Job, bool) {
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	return j, ok
+}
+
+// List returns a snapshot of every tracked job in submission order,
+// optionally filtered by state ("" means all). Jobs evicted by either
+// retention bound do not appear.
+func (q *Queue) List(filter State) []Snapshot {
+	q.mu.Lock()
+	jobs := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		jobs = append(jobs, j)
+	}
+	q.mu.Unlock()
+	// Sorted by the numeric submission sequence — the zero-padded ids
+	// stop sorting lexicographically at the millionth job. Snapshots are
+	// taken outside q.mu: finish locks q.mu before j.mu, so holding both
+	// here in the other order could deadlock.
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	snaps := make([]Snapshot, 0, len(jobs))
+	for _, j := range jobs {
+		snap := j.Snapshot()
+		if filter != "" && snap.State != filter {
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
 }
 
 // Cancel aborts the job with the given id: a queued job fails immediately
@@ -304,6 +408,10 @@ func (q *Queue) Close() {
 	q.mu.Unlock()
 	q.cancelBase() // aborts running jobs; queued ones fail in the drain below
 	q.wg.Wait()
+	if q.sweepStop != nil {
+		close(q.sweepStop)
+		<-q.sweepDone
+	}
 }
 
 // worker pops jobs until the pending channel drains after Close.

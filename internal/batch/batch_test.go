@@ -354,3 +354,113 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Fatalf("terminal %d+%d != submitted %d", st.Done, st.Failed, st.Submitted)
 	}
 }
+
+func TestListFilter(t *testing.T) {
+	q := New(Config{Workers: 1, Depth: 8})
+	defer q.Close()
+	block := make(chan struct{})
+	jr, err := q.Submit(func(ctx context.Context) ([]byte, error) {
+		<-block
+		return []byte("r"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job occupies the worker.
+	waitState(t, jr, StateRunning)
+	jq, err := q.Submit(func(ctx context.Context) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.List(""); len(got) != 2 || got[0].ID != jr.ID() || got[1].ID != jq.ID() {
+		t.Fatalf("List(all) = %+v", got)
+	}
+	if got := q.List(StateQueued); len(got) != 1 || got[0].ID != jq.ID() {
+		t.Fatalf("List(queued) = %+v", got)
+	}
+	if got := q.List(StateDone); len(got) != 0 {
+		t.Fatalf("List(done) = %+v", got)
+	}
+	close(block)
+	waitState(t, jr, StateDone)
+	waitState(t, jq, StateDone)
+	if got := q.List(StateDone); len(got) != 2 {
+		t.Fatalf("List(done) after completion = %+v", got)
+	}
+}
+
+func TestExpireEvictsOldTerminalJobs(t *testing.T) {
+	q := New(Config{Workers: 1, Depth: 8, ExpireAfter: 25 * time.Millisecond})
+	defer q.Close()
+	j, err := q.Submit(func(ctx context.Context) ([]byte, error) { return []byte("x"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := q.Get(j.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := q.Stats(); st.Expired == 0 {
+		t.Errorf("Stats.Expired = %d, want > 0", st.Expired)
+	}
+	if got := q.List(""); len(got) != 0 {
+		t.Errorf("expired job still listed: %+v", got)
+	}
+}
+
+func TestExpireSparesLiveAndFreshJobs(t *testing.T) {
+	q := New(Config{Workers: 1, Depth: 8})
+	defer q.Close()
+	q.cfg.ExpireAfter = time.Hour // drive expire by hand
+	block := make(chan struct{})
+	running, err := q.Submit(func(ctx context.Context) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	done, err := q.Submit(func(ctx context.Context) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.expire(time.Now()); n != 0 {
+		t.Fatalf("expire evicted %d fresh jobs", n)
+	}
+	close(block)
+	waitState(t, running, StateDone)
+	waitState(t, done, StateDone)
+	if n := q.expire(time.Now().Add(2 * time.Hour)); n != 2 {
+		t.Fatalf("expire evicted %d jobs, want 2", n)
+	}
+	if _, ok := q.Get(running.ID()); ok {
+		t.Error("expired job still tracked")
+	}
+}
+
+// waitState polls a job until it reaches the wanted state.
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := j.Snapshot()
+		if snap.State == want {
+			return
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job %s reached %s, want %s", j.ID(), snap.State, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", j.ID(), snap.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

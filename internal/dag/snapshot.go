@@ -1,0 +1,118 @@
+package dag
+
+import "fmt"
+
+// Snapshot is a serializable copy of a graph's complete internal state:
+// both adjacency lists in their exact stored order, plus vertex widths
+// and labels.
+//
+// Why both lists: neighbour-list order is part of this repository's
+// determinism contract. The ant walk iterates Succ/Pred in stored order,
+// and layer-width accumulation sums floating-point contributions in
+// Edges() order, so two graphs that are equal as edge sets but differ in
+// insertion order can legitimately produce different (equally valid)
+// layerings. Rebuilding a graph on another machine from an edge list
+// alone would reproduce the out-lists but not the in-lists (AddEdge
+// appends to both, and the interleaving is lost), silently breaking the
+// bitwise-identical guarantee the distributed archipelago depends on.
+// Snapshot therefore captures the lists verbatim and FromSnapshot
+// restores them verbatim, after checking they describe one simple
+// directed graph.
+type Snapshot struct {
+	// Out and In are the adjacency lists exactly as stored: Out[u] lists
+	// the successors of u and In[v] the predecessors of v, each in
+	// insertion order. len(Out) == len(In) == N.
+	Out [][]int `json:"out"`
+	In  [][]int `json:"in"`
+	// Widths holds the raw per-vertex widths (0 means the default 1.0);
+	// empty means all default.
+	Widths []float64 `json:"widths,omitempty"`
+	// Labels holds the per-vertex text labels; empty means all unset.
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Snapshot returns a deep serializable copy of the graph. The result
+// round-trips through FromSnapshot into a graph whose observable state —
+// including Succ/Pred/Edges order — is identical to g's.
+func (g *Graph) Snapshot() Snapshot {
+	s := Snapshot{
+		Out: make([][]int, g.N()),
+		In:  make([][]int, g.N()),
+	}
+	for v := range g.out {
+		s.Out[v] = append([]int(nil), g.out[v]...)
+		s.In[v] = append([]int(nil), g.in[v]...)
+	}
+	for _, w := range g.widths {
+		if w != 0 {
+			s.Widths = append([]float64(nil), g.widths...)
+			break
+		}
+	}
+	for _, l := range g.labels {
+		if l != "" {
+			s.Labels = append([]string(nil), g.labels...)
+			break
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a graph from a snapshot, validating that the
+// two lists are mutually consistent (every out-edge has exactly one
+// matching in-edge), in range, and free of self-loops and duplicates.
+func FromSnapshot(s Snapshot) (*Graph, error) {
+	n := len(s.Out)
+	if len(s.In) != n {
+		return nil, fmt.Errorf("dag: snapshot has %d out-lists but %d in-lists", n, len(s.In))
+	}
+	if len(s.Widths) != 0 && len(s.Widths) != n {
+		return nil, fmt.Errorf("dag: snapshot has %d widths for %d vertices", len(s.Widths), n)
+	}
+	if len(s.Labels) != 0 && len(s.Labels) != n {
+		return nil, fmt.Errorf("dag: snapshot has %d labels for %d vertices", len(s.Labels), n)
+	}
+	g := New(n)
+	seen := make(map[Edge]bool)
+	for u, succs := range s.Out {
+		for _, v := range succs {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, n)
+			}
+			if u == v {
+				return nil, fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+			}
+			e := Edge{u, v}
+			if seen[e] {
+				return nil, fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+			}
+			seen[e] = true
+			g.out[u] = append(g.out[u], v)
+			g.m++
+		}
+	}
+	inEdges := 0
+	for v, preds := range s.In {
+		for _, u := range preds {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, n)
+			}
+			if !seen[Edge{u, v}] {
+				return nil, fmt.Errorf("dag: snapshot in-edge (%d,%d) missing from the out-lists (or listed twice)", u, v)
+			}
+			seen[Edge{u, v}] = false // each out-edge matches exactly one in-edge
+			g.in[v] = append(g.in[v], u)
+			inEdges++
+		}
+	}
+	if inEdges != g.m {
+		return nil, fmt.Errorf("dag: snapshot lists %d out-edges but %d in-edges", g.m, inEdges)
+	}
+	if len(s.Widths) == n {
+		copy(g.widths, s.Widths)
+	}
+	if len(s.Labels) == n {
+		copy(g.labels, s.Labels)
+	}
+	return g, nil
+}

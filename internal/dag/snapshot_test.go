@@ -1,0 +1,95 @@
+package dag
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundTrip pins the property the distributed archipelago
+// depends on: a snapshot restores a graph whose adjacency-list order —
+// not just its edge set — is identical, even through JSON.
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := New(5)
+	g.SetWidth(2, 2.5)
+	g.SetLabel(4, "top")
+	// Interleave insertions so in-list order differs from the order a
+	// by-source rebuild (Edges order) would produce: in[0] = [3, 1, 4].
+	g.MustAddEdge(3, 0)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(4, 2)
+	g.MustAddEdge(4, 0)
+	g.MustAddEdge(2, 1)
+
+	blob, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if !reflect.DeepEqual(append([]int{}, got.Succ(v)...), append([]int{}, g.Succ(v)...)) {
+			t.Errorf("Succ(%d) = %v, want %v", v, got.Succ(v), g.Succ(v))
+		}
+		if !reflect.DeepEqual(append([]int{}, got.Pred(v)...), append([]int{}, g.Pred(v)...)) {
+			t.Errorf("Pred(%d) = %v, want %v", v, got.Pred(v), g.Pred(v))
+		}
+		if got.Width(v) != g.Width(v) {
+			t.Errorf("Width(%d) = %g, want %g", v, got.Width(v), g.Width(v))
+		}
+		if got.Label(v) != g.Label(v) {
+			t.Errorf("Label(%d) = %q, want %q", v, got.Label(v), g.Label(v))
+		}
+	}
+	if in0 := got.Pred(0); !reflect.DeepEqual(in0, []int{3, 1, 4}) {
+		t.Errorf("in-list order not preserved: Pred(0) = %v, want [3 1 4]", in0)
+	}
+}
+
+func TestSnapshotOmitsDefaultWidthsAndLabels(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(2, 1)
+	s := g.Snapshot()
+	if s.Widths != nil || s.Labels != nil {
+		t.Errorf("default widths/labels serialized: %+v", s)
+	}
+}
+
+func TestFromSnapshotRejectsInvalid(t *testing.T) {
+	cases := map[string]Snapshot{
+		"list length mismatch": {Out: make([][]int, 2), In: make([][]int, 3)},
+		"width mismatch":       {Out: make([][]int, 2), In: make([][]int, 2), Widths: []float64{1}},
+		"label mismatch":       {Out: make([][]int, 2), In: make([][]int, 2), Labels: []string{"a"}},
+		"out of range":         {Out: [][]int{{5}, nil}, In: make([][]int, 2)},
+		"self loop":            {Out: [][]int{{0}, nil}, In: [][]int{{0}, nil}},
+		"duplicate out":        {Out: [][]int{{1, 1}, nil}, In: [][]int{nil, {0, 0}}},
+		"in without out":       {Out: [][]int{nil, nil}, In: [][]int{{1}, nil}},
+		"in pred out of range": {Out: [][]int{{1}, nil}, In: [][]int{nil, {7}}},
+		"duplicate in":         {Out: [][]int{{1}, nil}, In: [][]int{nil, {0, 0}}},
+		"count mismatch":       {Out: [][]int{{1}, nil}, In: [][]int{nil, nil}},
+	}
+	for name, s := range cases {
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFromSnapshotEmpty(t *testing.T) {
+	g, err := FromSnapshot(Snapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty snapshot: n=%d m=%d", g.N(), g.M())
+	}
+}

@@ -68,6 +68,11 @@ const (
 	// structured fork/join workload the island experiments widen scenario
 	// coverage with.
 	SeriesParallelFamily
+	// PipelineFamily builds deep staged DAGs with stage-skipping bypass
+	// edges (see Pipeline): the long-edge-heavy regime where the dummy
+	// vertices induced by edge spans outnumber the real vertices, so
+	// dummy width dominates the width objective.
+	PipelineFamily
 )
 
 func (f Family) String() string {
@@ -82,6 +87,8 @@ func (f Family) String() string {
 		return "dense"
 	case SeriesParallelFamily:
 		return "series-parallel"
+	case PipelineFamily:
+		return "pipeline"
 	default:
 		return fmt.Sprintf("Family(%d)", int(f))
 	}
@@ -100,8 +107,10 @@ func ParseFamily(s string) (Family, error) {
 		return Dense, nil
 	case "series-parallel", "sp":
 		return SeriesParallelFamily, nil
+	case "pipeline":
+		return PipelineFamily, nil
 	default:
-		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense|series-parallel)", s)
+		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense|series-parallel|pipeline)", s)
 	}
 }
 
@@ -122,6 +131,10 @@ func (f Family) generate(n int, rng *rand.Rand) (*dag.Graph, error) {
 		// An even series/parallel mix keeps both the nesting depth and the
 		// parallel fan-out growing with n.
 		return SeriesParallel(n, 0.5, rng)
+	case PipelineFamily:
+		// A 0.4 bypass share makes dummy vertices dominate (mean edge
+		// span grows with depth) while most edges stay stage-adjacent.
+		return Pipeline(n, 0.4, rng)
 	default:
 		return Generate(DefaultConfig(n), rng)
 	}

@@ -4,15 +4,18 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"antlayer/internal/longestpath"
 )
 
 func TestParseFamily(t *testing.T) {
 	cases := map[string]Family{
-		"sparse":  Sparse,
-		"":        Sparse,
-		"trees":   Trees,
-		"layered": LayeredFamily,
-		"dense":   Dense,
+		"sparse":   Sparse,
+		"":         Sparse,
+		"trees":    Trees,
+		"layered":  LayeredFamily,
+		"dense":    Dense,
+		"pipeline": PipelineFamily,
 	}
 	for in, want := range cases {
 		got, err := ParseFamily(in)
@@ -28,7 +31,7 @@ func TestParseFamily(t *testing.T) {
 func TestFamilyStrings(t *testing.T) {
 	for f, want := range map[Family]string{
 		Sparse: "sparse", Trees: "trees", LayeredFamily: "layered", Dense: "dense",
-		SeriesParallelFamily: "series-parallel",
+		SeriesParallelFamily: "series-parallel", PipelineFamily: "pipeline",
 	} {
 		if f.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
@@ -40,7 +43,7 @@ func TestFamilyStrings(t *testing.T) {
 }
 
 func TestCorpusFamilies(t *testing.T) {
-	for _, fam := range []Family{Sparse, Trees, LayeredFamily, Dense, SeriesParallelFamily} {
+	for _, fam := range []Family{Sparse, Trees, LayeredFamily, Dense, SeriesParallelFamily, PipelineFamily} {
 		groups, err := CorpusFamily(3, 2, fam)
 		if err != nil {
 			t.Fatalf("%v: %v", fam, err)
@@ -159,5 +162,62 @@ func TestSeriesParallelStructure(t *testing.T) {
 		if _, err := SeriesParallel(bad.n, bad.p, rng); err == nil {
 			t.Errorf("SeriesParallel(%d, %g) accepted", bad.n, bad.p)
 		}
+	}
+}
+
+// TestPipelineLongEdgeHeavy pins the pipeline family's reason to exist:
+// under a longest-path layering the dummy vertices induced by bypass
+// edges outnumber the real vertices (dummy width dominates), and the
+// graph is deep — the stage count, not ~sqrt(n), sets the height.
+func TestPipelineLongEdgeHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{40, 80} {
+		g, err := Pipeline(n, 0.4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsAcyclic() {
+			t.Fatal("pipeline graph cyclic")
+		}
+		l, err := longestpath.Layer(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := l.ComputeMetrics(1)
+		if m.Height < n/3 {
+			t.Errorf("n=%d: height %d, want >= %d (deep stages)", n, m.Height, n/3)
+		}
+		if m.DummyCount <= n {
+			t.Errorf("n=%d: %d dummies for %d vertices; want dummy-dominated", n, m.DummyCount, n)
+		}
+		// Every vertex below the top participates (no floating sources
+		// beyond stage tops).
+		iso := 0
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) == 0 {
+				iso++
+			}
+		}
+		if iso > 0 {
+			t.Errorf("n=%d: %d isolated vertices", n, iso)
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Pipeline(1, 0.4, rng); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Pipeline(10, -0.1, rng); err == nil {
+		t.Error("negative pLong accepted")
+	}
+	if _, err := Pipeline(10, 1.1, rng); err == nil {
+		t.Error("pLong > 1 accepted")
+	}
+	// Tiny pipelines still build.
+	g, err := Pipeline(2, 1, rng)
+	if err != nil || g.N() != 2 {
+		t.Fatalf("Pipeline(2): %v", err)
 	}
 }

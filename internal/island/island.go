@@ -12,20 +12,33 @@
 // its own search state, so the islands cooperate while their pheromone
 // populations stay diverse.
 //
+// The package is split along the paper's natural parallel boundary:
+//
+//   - Engine is the pure epoch engine — it steps a set of islands in
+//     tour slices, emits their elites at each barrier, absorbs foreign
+//     elites, and finalizes per-island Reports. It never knows the ring
+//     topology or where the other islands live.
+//   - Migrator owns the barrier and the elite exchange. Ring is the
+//     in-process implementation; internal/shard implements the same
+//     interface over a network so the archipelago spans processes, with
+//     a coordinator playing the ring and one Engine per worker process.
+//
 // Determinism: the run is a pure function of (graph, Params). Island i's
 // colony seed is core.SubSeed(Seed, i); every epoch is a barrier (all
 // islands finish their tour slice before any elite is read); elites are
-// collected and deposited in island order by the coordinating goroutine
-// alone. No RNG stream, pheromone matrix or scratch buffer is ever shared
-// between islands, so the result is bitwise-identical at any
-// Params.Colony.Workers setting and under any goroutine schedule — the
-// same guarantee the single colony gives, lifted to the archipelago.
+// exchanged in ring order at the barrier and deposited only there. No RNG
+// stream, pheromone matrix or scratch buffer is ever shared between
+// islands, so the result is bitwise-identical at any
+// Params.Colony.Workers setting, under any goroutine schedule, and — the
+// distributed extension — for any partition of the islands over any
+// number of worker processes: the per-island work is the same wherever
+// the island is hosted, and the barrier makes every epoch's exchange see
+// the same elites. See DESIGN.md §10.
 package island
 
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"antlayer/internal/core"
 	"antlayer/internal/dag"
@@ -47,6 +60,14 @@ type Params struct {
 	// migration barriers (>= 1). An interval at or above Colony.Tours
 	// means the islands never exchange anything — independent restarts.
 	MigrationInterval int
+	// Migrator, when non-nil, replaces the in-process ring: Run drives
+	// all Islands locally but routes every epoch's elite exchange through
+	// it. This is the pluggable-transport seam — tests inject fakes here,
+	// and custom topologies (or transports) plug in without touching the
+	// engine. Leave nil for the default Ring. The field is excluded from
+	// serialization: a transport is process-local wiring, not a search
+	// parameter, and it never influences the layering produced.
+	Migrator Migrator `json:"-"`
 }
 
 // DefaultParams returns the paper's colony defaults wrapped in a 4-island
@@ -100,110 +121,35 @@ type Result struct {
 }
 
 // Run executes an island-model search over g under ctx and returns the
-// best layering found by any island. Cancellation follows
-// core.Colony.RunContext: the first cancelled island aborts the whole run
-// with an error wrapping ctx.Err().
+// best layering found by any island: an Engine over all p.Islands
+// islands, driven against p.Migrator (default: the in-process Ring).
+// Cancellation follows core.Colony.RunContext: the first cancelled island
+// aborts the whole run with an error wrapping ctx.Err().
 func Run(ctx context.Context, g *dag.Graph, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	k := p.Islands
-	colonies := make([]*core.Colony, k)
-	seeds := make([]int64, k)
-	for i := range colonies {
-		cp := p.Colony
-		cp.Seed = core.SubSeed(p.Colony.Seed, i)
-		seeds[i] = cp.Seed
-		c, err := core.NewColony(g, cp)
-		if err != nil {
-			return nil, err
-		}
-		colonies[i] = c
+	local := make([]int, p.Islands)
+	for i := range local {
+		local[i] = i
 	}
-
-	res := &Result{PerIsland: make([]IslandStats, k)}
-	done := make([]bool, k)
-	errs := make([]error, k)
-	for {
-		// Epoch: every live island advances MigrationInterval tours. The
-		// islands run concurrently — each colony owns all its state, and
-		// its internal worker pool is already schedule-independent — and
-		// the WaitGroup is the migration barrier.
-		var wg sync.WaitGroup
-		for i := range colonies {
-			if done[i] {
-				continue
-			}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				done[i], errs[i] = colonies[i].StepContext(ctx, p.MigrationInterval)
-			}(i)
-		}
-		wg.Wait()
-		// Report the lowest-index error so the message does not depend on
-		// which goroutine lost the race to the cancelled context.
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("island %d: %w", i, err)
-			}
-		}
-		live := 0
-		for i := range done {
-			if !done[i] {
-				live++
-			}
-		}
-		if live == 0 {
-			break
-		}
-		// Migration: island i's elite emigrates to ring neighbour
-		// (i+1) mod K. Elites are snapshotted before any deposit, so the
-		// exchange reflects the barrier state, not a half-migrated one.
-		// Islands that already stopped still emit their elite (it is
-		// final) but receive no deposit — their matrix is dead weight.
-		if k > 1 {
-			type elite struct {
-				assign []int
-				obj    float64
-			}
-			elites := make([]elite, k)
-			for i, c := range colonies {
-				elites[i].assign, elites[i].obj = c.Best()
-			}
-			for i, c := range colonies {
-				if done[i] {
-					continue
-				}
-				src := elites[(i-1+k)%k]
-				if err := c.DepositElite(src.assign, src.obj); err != nil {
-					return nil, fmt.Errorf("island %d: migration: %w", i, err)
-				}
-			}
-			res.Migrations++
-		}
+	e, err := NewEngine(g, p, local)
+	if err != nil {
+		return nil, err
 	}
-
-	best := -1
-	for i, c := range colonies {
-		r, err := c.Finalize()
-		if err != nil {
-			return nil, fmt.Errorf("island %d: %w", i, err)
-		}
-		res.PerIsland[i] = IslandStats{
-			Island:    i,
-			Seed:      seeds[i],
-			Objective: r.Objective,
-			BestTour:  r.BestTour,
-			ToursRun:  len(r.History),
-		}
-		if best < 0 || r.Objective > res.Objective {
-			best = i
-			res.Result = *r
-		}
+	m := p.Migrator
+	if m == nil {
+		m = NewRing(p.Islands)
 	}
-	res.BestIsland = best
-	return res, nil
+	migrations, err := Drive(ctx, e, m)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := e.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return Assemble(g, p, reports, migrations)
 }
 
 // Layer is the package-level convenience mirroring core.Layer: run the

@@ -5,19 +5,33 @@ import (
 	"sync"
 )
 
-// resultCache is a fixed-capacity LRU over finished response bodies, keyed
-// by the canonical (graph, params) hash (see requestKey). Because a colony
+// resultCache is a size-aware LRU over finished response bodies, keyed by
+// the canonical (graph, params) hash (see requestKey). Because a colony
 // run is a bitwise-deterministic function of the graph and the parameters
 // (PR 1), a cached body is exactly the body a recomputation would produce —
 // the cache trades CPU for memory with no approximation.
 //
+// Admission and eviction are byte-weighted as well as entry-counted:
+// bodies vary by four orders of magnitude (a plain layering is a few KiB,
+// an SVG render can run to megabytes), so a purely entry-counted LRU
+// would let one render burst evict hundreds of cheap layering entries.
+// Entries are evicted least-recently-used until both the entry cap and
+// the byte budget hold, and a single body larger than an admission
+// threshold (an eighth of the byte budget) is never cached at all — it
+// would purge a disproportionate slice of the working set for one entry
+// of dubious reuse. Rejections are counted for /metrics.
+//
 // Safe for concurrent use. A capacity <= 0 disables the cache: Get always
-// misses and Put is a no-op.
+// misses and Put is a no-op. A maxBytes <= 0 disables the byte budget
+// (entry-counted only).
 type resultCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	oversize int64      // bodies refused admission for size
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -25,12 +39,22 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	return &resultCache{
-		cap: capacity,
-		ll:  list.New(),
-		m:   make(map[string]*list.Element),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		m:        make(map[string]*list.Element),
 	}
+}
+
+// admissionLimit returns the largest body the cache will accept, or 0 for
+// no limit.
+func (c *resultCache) admissionLimit() int64 {
+	if c.maxBytes <= 0 {
+		return 0
+	}
+	return c.maxBytes / 8
 }
 
 // Get returns the cached body for key and marks it most recently used. The
@@ -49,25 +73,50 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// Put stores body under key, evicting the least recently used entries
-// beyond capacity. Storing an existing key refreshes its recency.
+// Put stores body under key, evicting least-recently-used entries until
+// both the entry cap and the byte budget hold. Storing an existing key
+// refreshes its recency (and re-weighs it). Bodies above the admission
+// threshold are not cached.
 func (c *resultCache) Put(key string, body []byte) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
+	if limit := c.admissionLimit(); limit > 0 && int64(len(body)) > limit {
+		c.oversize++
+		// An oversize Put for a key that somehow was admitted earlier
+		// (the budget could have been reconfigured) must not leave the
+		// stale smaller body behind.
+		if el, ok := c.m[key]; ok {
+			c.remove(el)
+		}
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
 	}
+	for c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.remove(oldest)
+	}
+}
+
+// remove drops an element; the caller holds the lock.
+func (c *resultCache) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= int64(len(e.body))
 }
 
 // Len returns the number of cached entries.
@@ -75,4 +124,12 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the total body bytes currently cached and the number of
+// bodies refused admission for size.
+func (c *resultCache) Bytes() (bytes, oversize int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.oversize
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	c.Put("a", []byte("A"))
 	c.Put("b", []byte("B"))
 	if _, ok := c.Get("a"); !ok {
@@ -29,7 +29,7 @@ func TestResultCacheLRU(t *testing.T) {
 }
 
 func TestResultCacheOverwrite(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	c.Put("a", []byte("old"))
 	c.Put("a", []byte("new"))
 	if c.Len() != 1 {
@@ -42,7 +42,7 @@ func TestResultCacheOverwrite(t *testing.T) {
 }
 
 func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(-1)
+	c := newResultCache(-1, 0)
 	c.Put("a", []byte("A"))
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache returned a hit")
@@ -53,7 +53,7 @@ func TestResultCacheDisabled(t *testing.T) {
 }
 
 func TestResultCacheEvictionSweep(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, 0)
 	for i := 0; i < 100; i++ {
 		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
 		if c.Len() > 8 {
@@ -65,5 +65,69 @@ func TestResultCacheEvictionSweep(t *testing.T) {
 		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
 			t.Fatalf("k%d missing", i)
 		}
+	}
+}
+
+func TestResultCacheByteBudget(t *testing.T) {
+	// Budget of 1000 bytes: admission limit 125; small bodies fill until
+	// the byte budget evicts LRU-first.
+	c := newResultCache(1000, 1000)
+	for i := 0; i < 12; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 100))
+	}
+	if bytes, _ := c.Bytes(); bytes > 1000 {
+		t.Fatalf("cached %d bytes, budget 1000", bytes)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 (1000/100)", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry survived the byte budget")
+	}
+	if _, ok := c.Get("k11"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+// TestResultCacheOversizeAdmission pins the satellite's point: one giant
+// body (an SVG render) is refused admission instead of evicting dozens
+// of plain layering entries.
+func TestResultCacheOversizeAdmission(t *testing.T) {
+	c := newResultCache(1000, 1000)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 50))
+	}
+	c.Put("svg", make([]byte, 500)) // > 1000/8 = 125: refused
+	if _, ok := c.Get("svg"); ok {
+		t.Fatal("oversize body admitted")
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d evicted by a refused oversize body", i)
+		}
+	}
+	if _, oversize := c.Bytes(); oversize != 1 {
+		t.Fatalf("oversize rejects = %d, want 1", oversize)
+	}
+}
+
+func TestResultCacheOversizeReplacesStaleEntry(t *testing.T) {
+	c := newResultCache(1000, 1000)
+	c.Put("a", make([]byte, 100))
+	c.maxBytes = 400 // budget shrank; the same key now exceeds admission
+	c.Put("a", make([]byte, 100))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("stale entry survived an oversize re-put")
+	}
+	if bytes, _ := c.Bytes(); bytes != 0 {
+		t.Fatalf("bytes = %d after removal, want 0", bytes)
+	}
+}
+
+func TestResultCacheNoByteBound(t *testing.T) {
+	c := newResultCache(4, -1)
+	c.Put("big", make([]byte, 1<<20))
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("unbounded-bytes cache refused a body")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"antlayer/internal/batch"
 )
@@ -21,6 +22,9 @@ import (
 // running one has its context cancelled and the colony aborts within one
 // ant walk per worker. A cancelled job reports state "failed" with a
 // 499-style reason, mirroring how /layer labels a vanished client.
+// GET /jobs lists every tracked job (optionally ?state=queued|running|
+// done|failed); tracking is bounded by count (JobRetention) and, when
+// JobExpiry is set, by age — the batch queue's background sweep.
 
 // jobStatus is the JSON envelope for every non-done job state (and for
 // POST/DELETE acknowledgements). Done jobs are served raw — the /layer
@@ -36,12 +40,17 @@ type jobStatus struct {
 	Poll string `json:"poll,omitempty"`
 }
 
-// handleJobs serves POST /jobs: parse and validate synchronously (bad
-// requests fail now, not at poll time), then enqueue the computation.
+// handleJobs serves POST /jobs — parse and validate synchronously (bad
+// requests fail now, not at poll time), then enqueue the computation —
+// and GET /jobs, the job listing.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		s.handleJobList(w, r)
+		return
+	}
 	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		s.httpError(w, http.StatusMethodNotAllowed, "POST a DOT or edge-list graph to /jobs (then poll GET /jobs/{id})")
+		w.Header().Set("Allow", "GET, POST")
+		s.httpError(w, http.StatusMethodNotAllowed, "POST a DOT or edge-list graph to /jobs (then poll GET /jobs/{id}), or GET /jobs to list")
 		return
 	}
 	req, g, names, ok := s.parseLayerHTTP(w, r)
@@ -77,6 +86,65 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		State: string(batch.StateQueued),
 		Poll:  "/jobs/" + job.ID(),
 	})
+}
+
+// jobListEntry is one row of the GET /jobs listing: the status envelope
+// plus timestamps, so clients can spot stuck or ancient jobs without
+// polling each id.
+type jobListEntry struct {
+	jobStatus
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// jobList is the GET /jobs response document.
+type jobList struct {
+	// Jobs holds the tracked jobs in submission order. Jobs evicted by
+	// the retention bounds (count or age) no longer appear.
+	Jobs []jobListEntry `json:"jobs"`
+	// Stats is the same queue summary /metrics serves, so one GET shows
+	// the listing and the gauges together.
+	Stats batch.Stats `json:"stats"`
+}
+
+// handleJobList serves GET /jobs?state=queued|running|done|failed: every
+// tracked job in submission order, optionally filtered by state.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	var filter batch.State
+	if v := r.URL.Query().Get("state"); v != "" {
+		filter = batch.State(v)
+		switch filter {
+		case batch.StateQueued, batch.StateRunning, batch.StateDone, batch.StateFailed:
+		default:
+			s.httpError(w, http.StatusBadRequest, "unknown state %q (want queued|running|done|failed)", v)
+			return
+		}
+	}
+	snaps := s.jobs.List(filter)
+	list := jobList{Jobs: make([]jobListEntry, 0, len(snaps)), Stats: s.jobs.Stats()}
+	for _, snap := range snaps {
+		entry := jobListEntry{
+			jobStatus: jobStatus{ID: snap.ID, State: string(snap.State), Poll: "/jobs/" + snap.ID},
+			Submitted: snap.Submitted,
+		}
+		if !snap.Started.IsZero() {
+			started := snap.Started
+			entry.Started = &started
+		}
+		if !snap.Finished.IsZero() {
+			finished := snap.Finished
+			entry.Finished = &finished
+		}
+		if snap.State == batch.StateFailed {
+			entry.Error = jobFailureReason(snap)
+		}
+		list.Jobs = append(list.Jobs, entry)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(list)
 }
 
 // handleJob serves GET (poll) and DELETE (cancel) on /jobs/{id}.

@@ -241,15 +241,29 @@ func TestJobsValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job: %d", resp.StatusCode)
 	}
-	// GET /jobs without an id is not a submission.
+	// GET /jobs without an id is the listing, not a submission; other
+	// verbs stay rejected.
 	resp, err = http.Get(ts.URL + "/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /jobs: %d", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /jobs: %d", resp.StatusCode)
 	}
 }
 

@@ -40,9 +40,15 @@ type Request struct {
 	DummyWidth        float64
 	CGWidth           int
 	ACO               antlayer.ACOParams
-	Islands           int           // island: colony count (0 = default)
-	MigrationInterval int           // island: tours between migrations (0 = default)
-	Timeout           time.Duration // 0 = server default
+	Islands           int // island: colony count (0 = default)
+	MigrationInterval int // island: tours between migrations (0 = default)
+	// Distributed asks for algo=island to run on the shard coordinator's
+	// worker fleet instead of in-process. It deliberately does not
+	// parameterise the response body — the distributed archipelago is
+	// byte-identical to the in-process one — so, like Workers and
+	// Timeout, it is excluded from the cache key.
+	Distributed bool
+	Timeout     time.Duration // 0 = server default
 }
 
 // DefaultRequest returns the request every unset parameter falls back to.
@@ -115,6 +121,8 @@ func ParseRequest(q url.Values) (Request, error) {
 			if err == nil && req.MigrationInterval < 0 {
 				err = fmt.Errorf("must be >= 0")
 			}
+		case "distributed":
+			req.Distributed, err = strconv.ParseBool(v)
 		case "timeout-ms":
 			var ms int64
 			ms, err = strconv.ParseInt(v, 10, 64)
@@ -144,6 +152,9 @@ func ParseRequest(q url.Values) (Request, error) {
 	default:
 		return req, fmt.Errorf("unknown render %q (want none|svg|ascii)", req.Render)
 	}
+	if req.Distributed && req.Algo != "island" {
+		return req, fmt.Errorf("distributed=true requires algo=island, got algo=%q", req.Algo)
+	}
 	req.ACO.DummyWidth = req.DummyWidth
 	return req, nil
 }
@@ -164,10 +175,13 @@ func ParseGraph(req Request, body io.Reader) (*antlayer.Graph, []string, error) 
 // (vertex count, per-vertex width and name, edges sorted by endpoint) and
 // every parameter that determines the response body.
 //
-// Two fields are deliberately excluded. Workers: the layering is
+// Three fields are deliberately excluded. Workers: the layering is
 // bitwise-identical at any worker count (PR 1, and the island model keeps
 // the guarantee), so requests differing only in parallelism share a
-// result. Timeout: it bounds the computation but does not parameterise it.
+// result. Distributed: the sharded archipelago is byte-identical to the
+// in-process one at any worker-process count and partition (DESIGN.md
+// §10), so a distributed request and its local twin share one entry.
+// Timeout: it bounds the computation but does not parameterise it.
 //
 // Edge order is canonicalised, so the same graph serialised in two edge
 // orders maps to one entry. Layer-width accumulation is floating-point and
@@ -249,14 +263,32 @@ type layerInfo struct {
 	EdgeDensity int     `json:"edge_density"`
 }
 
+// IslandRunner executes an island-model run — the seam through which the
+// daemon routes algo=island requests onto the shard coordinator's worker
+// fleet. A nil runner means in-process. Whatever the runner, the body
+// marshalled from its result is byte-identical, because the distributed
+// archipelago is (DESIGN.md §10); the seam selects where the colonies
+// burn CPU, never what they produce.
+type IslandRunner func(ctx context.Context, g *antlayer.Graph, p antlayer.IslandParams) (*antlayer.IslandResult, error)
+
 // Compute runs the requested algorithm under ctx and marshals the
 // response body — the one JSON shape shared by POST /layer, a done
 // /jobs/{id} and a `daglayer batch` result file. It reports the colony
 // tours executed (0 for the polynomial algorithms) so callers can feed
 // their metrics. Only the colony paths are long enough to be cancellable;
 // the polynomial algorithms run to completion well inside any sane
-// deadline.
+// deadline. Island runs execute in-process; ComputeWith is the variant
+// that can shard them over a worker fleet.
 func Compute(ctx context.Context, req Request, g *antlayer.Graph, names []string) (body []byte, toursRun int, err error) {
+	return ComputeWith(ctx, req, g, names, nil)
+}
+
+// ComputeWith is Compute with an explicit island runner (nil =
+// in-process); see IslandRunner.
+func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []string, runIsland IslandRunner) (body []byte, toursRun int, err error) {
+	if runIsland == nil {
+		runIsland = antlayer.IslandColonyRunContext
+	}
 	resp := layerResponse{
 		Algo:    req.Algo,
 		Promote: req.Promote,
@@ -279,7 +311,7 @@ func Compute(ctx context.Context, req Request, g *antlayer.Graph, names []string
 		resp.BestTour = &bestTour
 		resp.ToursRun = toursRun
 	case "island":
-		res, err := antlayer.IslandColonyRunContext(ctx, g, req.options().IslandOf())
+		res, err := runIsland(ctx, g, req.options().IslandOf())
 		if err != nil {
 			return nil, 0, err
 		}

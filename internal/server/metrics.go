@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"antlayer/internal/batch"
+	"antlayer/internal/shard"
 )
 
 // latencyWindow is how many recent /layer latencies the quantile estimates
@@ -30,6 +31,8 @@ type serverMetrics struct {
 	timeouts      atomic.Int64 // /layer requests answered 504
 	toursRun      atomic.Int64 // colony tours executed (cache hits run zero)
 	inFlight      atomic.Int64 // /layer requests currently being computed
+	distRuns      atomic.Int64 // island runs served by the worker fleet
+	distFallbacks atomic.Int64 // distributed requests computed in-process (no workers)
 
 	mu       sync.Mutex
 	latRing  [latencyWindow]time.Duration // recent /layer latencies
@@ -82,23 +85,40 @@ func (m *serverMetrics) quantiles() (count int64, p50, p99 float64) {
 // computation (single-flight); they ran no colony and sit outside the
 // hit/miss split.
 type MetricsSnapshot struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	RequestsTotal int64           `json:"requests_total"`
-	LayerRequests int64           `json:"layer_requests"`
-	CacheHits     int64           `json:"cache_hits"`
-	CacheMisses   int64           `json:"cache_misses"`
-	CacheHitRate  float64         `json:"cache_hit_rate"`
-	CacheEntries  int             `json:"cache_entries"`
-	Coalesced     int64           `json:"coalesced"`
-	Errors        int64           `json:"errors"`
-	Timeouts      int64           `json:"timeouts"`
-	ToursRun      int64           `json:"tours_run"`
-	InFlight      int64           `json:"in_flight"`
-	Latency       LatencyQuantile `json:"latency_ms"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	RequestsTotal int64   `json:"requests_total"`
+	LayerRequests int64   `json:"layer_requests"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheEntries  int     `json:"cache_entries"`
+	// CacheBytes is the total body bytes the LRU currently holds (the
+	// size-aware eviction keeps it under the configured budget);
+	// CacheOversizeRejects counts bodies refused admission because one
+	// entry would have displaced too much of the working set.
+	CacheBytes           int64           `json:"cache_bytes"`
+	CacheOversizeRejects int64           `json:"cache_oversize_rejects"`
+	Coalesced            int64           `json:"coalesced"`
+	Errors               int64           `json:"errors"`
+	Timeouts             int64           `json:"timeouts"`
+	ToursRun             int64           `json:"tours_run"`
+	InFlight             int64           `json:"in_flight"`
+	Latency              LatencyQuantile `json:"latency_ms"`
+	// DistributedRuns counts island runs served by the shard worker
+	// fleet; DistributedFallbacks counts distributed=true requests that
+	// ran in-process because no workers were registered (the bytes are
+	// identical either way — the fallback costs locality, not
+	// correctness).
+	DistributedRuns      int64 `json:"distributed_runs"`
+	DistributedFallbacks int64 `json:"distributed_fallbacks"`
 	// Jobs summarises the async /jobs queue: submitted/rejected totals,
 	// the queued/running gauges (queue depth is the queued gauge against
 	// the depth bound), and per-outcome counters.
 	Jobs batch.Stats `json:"jobs"`
+	// Cluster is the shard coordinator's snapshot — fleet size, runs,
+	// epochs, migrations, per-shard epoch latency. Present only on a
+	// coordinator daemon.
+	Cluster *shard.ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // LatencyQuantile summarises the recent /layer latency distribution.
@@ -108,7 +128,7 @@ type LatencyQuantile struct {
 	P99   float64 `json:"p99"`
 }
 
-func (m *serverMetrics) snapshot(cacheEntries int, jobs batch.Stats) MetricsSnapshot {
+func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, jobs batch.Stats, cluster *shard.ClusterMetrics) MetricsSnapshot {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -116,19 +136,24 @@ func (m *serverMetrics) snapshot(cacheEntries int, jobs batch.Stats) MetricsSnap
 	}
 	count, p50, p99 := m.quantiles()
 	return MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		RequestsTotal: m.requests.Load(),
-		LayerRequests: m.layerRequests.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheHitRate:  rate,
-		CacheEntries:  cacheEntries,
-		Coalesced:     m.coalesced.Load(),
-		Errors:        m.errors.Load(),
-		Timeouts:      m.timeouts.Load(),
-		ToursRun:      m.toursRun.Load(),
-		InFlight:      m.inFlight.Load(),
-		Latency:       LatencyQuantile{Count: count, P50: p50, P99: p99},
-		Jobs:          jobs,
+		UptimeSeconds:        time.Since(m.start).Seconds(),
+		RequestsTotal:        m.requests.Load(),
+		LayerRequests:        m.layerRequests.Load(),
+		CacheHits:            hits,
+		CacheMisses:          misses,
+		CacheHitRate:         rate,
+		CacheEntries:         cacheEntries,
+		CacheBytes:           cacheBytes,
+		CacheOversizeRejects: cacheOversize,
+		Coalesced:            m.coalesced.Load(),
+		Errors:               m.errors.Load(),
+		Timeouts:             m.timeouts.Load(),
+		ToursRun:             m.toursRun.Load(),
+		InFlight:             m.inFlight.Load(),
+		Latency:              LatencyQuantile{Count: count, P50: p50, P99: p99},
+		DistributedRuns:      m.distRuns.Load(),
+		DistributedFallbacks: m.distFallbacks.Load(),
+		Jobs:                 jobs,
+		Cluster:              cluster,
 	}
 }

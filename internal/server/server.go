@@ -44,6 +44,7 @@ import (
 	"antlayer"
 	"antlayer/internal/batch"
 	"antlayer/internal/buildinfo"
+	"antlayer/internal/shard"
 )
 
 // Config tunes the daemon. The zero value is usable: every field falls
@@ -54,6 +55,12 @@ type Config struct {
 	// CacheSize is the LRU capacity in responses. 0 means the default
 	// (256); negative disables caching.
 	CacheSize int
+	// CacheMaxBytes is the LRU's body-byte budget: entries are evicted
+	// until total cached bytes fit, and a single body larger than an
+	// eighth of the budget is never admitted (so one giant SVG cannot
+	// purge dozens of plain layering entries). 0 means the default
+	// (64 MiB); negative disables the byte bound (entry-counted only).
+	CacheMaxBytes int64
 	// MaxConcurrent bounds the /layer requests computing at once; further
 	// requests queue (holding no CPU) until a slot or their deadline.
 	// 0 means GOMAXPROCS.
@@ -77,6 +84,17 @@ type Config struct {
 	// JobRetention bounds how many finished jobs stay pollable; the
 	// oldest is evicted first. 0 means 256.
 	JobRetention int
+	// JobExpiry, when positive, additionally evicts finished jobs older
+	// than this (a retention sweep runs in the background). 0 keeps jobs
+	// until the count bound evicts them.
+	JobExpiry time.Duration
+	// Coordinator, when non-nil, makes this daemon the archipelago's
+	// coordinator: requests with distributed=true run algo=island sharded
+	// over the coordinator's registered workers (byte-identical to the
+	// in-process run), /cluster reports the fleet, and /metrics grows a
+	// cluster section. The caller owns the coordinator's listener
+	// lifecycle (see cmd/daglayer serve -coordinator).
+	Coordinator *shard.Coordinator
 	// Log receives one line per /layer request. Nil discards.
 	Log *log.Logger
 }
@@ -87,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 64 << 20
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -135,13 +156,14 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheSize),
+		cache:   newResultCache(cfg.CacheSize, cfg.CacheMaxBytes),
 		flights: newFlightGroup(),
 		metrics: newServerMetrics(),
 		jobs: batch.New(batch.Config{
-			Workers: cfg.JobWorkers,
-			Depth:   cfg.JobQueueDepth,
-			Retain:  cfg.JobRetention,
+			Workers:     cfg.JobWorkers,
+			Depth:       cfg.JobQueueDepth,
+			Retain:      cfg.JobRetention,
+			ExpireAfter: cfg.JobExpiry,
 		}),
 		sem: make(chan struct{}, cfg.MaxConcurrent),
 	}
@@ -151,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/cluster", s.handleCluster)
 	return s
 }
 
@@ -217,7 +240,13 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 
 // Metrics returns a point-in-time snapshot of the daemon's counters.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.metrics.snapshot(s.cache.Len(), s.jobs.Stats())
+	var cluster *shard.ClusterMetrics
+	if s.cfg.Coordinator != nil {
+		cm := s.cfg.Coordinator.Metrics()
+		cluster = &cm
+	}
+	cacheBytes, cacheOversize := s.cache.Bytes()
+	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, s.jobs.Stats(), cluster)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -248,6 +277,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(s.Metrics())
 }
 
+// handleCluster reports the shard coordinator's fleet and per-shard
+// counters, so operators can watch workers register and epochs flow
+// without grepping logs.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Coordinator == nil {
+		s.httpError(w, http.StatusNotFound, "this daemon is not a coordinator (start it with -coordinator)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cfg.Coordinator.Metrics())
+}
+
 // httpError answers status with a plain-text message and counts it.
 func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.metrics.errors.Add(1)
@@ -264,6 +307,10 @@ func (s *Server) parseLayerHTTP(w http.ResponseWriter, r *http.Request) (req Req
 	req, err := ParseRequest(r.URL.Query())
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return req, nil, nil, false
+	}
+	if req.Distributed && s.cfg.Coordinator == nil {
+		s.httpError(w, http.StatusBadRequest, "distributed=true but this daemon is not a coordinator (start it with -coordinator)")
 		return req, nil, nil, false
 	}
 	g, names, err = ParseGraph(req, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -325,7 +372,7 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 			}
 		}
 		s.metrics.inFlight.Add(1)
-		body, toursRun, err := Compute(ctx, req, g, names)
+		body, toursRun, err := ComputeWith(ctx, req, g, names, s.islandRunner(req))
 		s.metrics.toursRun.Add(int64(toursRun))
 		s.metrics.inFlight.Add(-1)
 		release()
@@ -341,6 +388,37 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 		s.metrics.cacheMisses.Add(1)
 		s.flights.finish(key, fl, body, nil)
 		return body, "miss", "", nil
+	}
+}
+
+// islandRunner resolves where an algo=island request burns its CPU: on
+// the shard coordinator's worker fleet when the request asked to be
+// distributed and workers are registered, in-process otherwise (nil).
+// An empty fleet falls back to the local archipelago rather than failing
+// the request — the bytes are identical either way, so availability wins
+// — and the fallback is counted so operators notice a fleet that never
+// fills.
+func (s *Server) islandRunner(req Request) IslandRunner {
+	if !req.Distributed || s.cfg.Coordinator == nil {
+		return nil
+	}
+	if s.cfg.Coordinator.Workers() == 0 {
+		s.metrics.distFallbacks.Add(1)
+		s.logf("distributed request with no registered workers; running in-process")
+		return nil
+	}
+	return func(ctx context.Context, g *antlayer.Graph, p antlayer.IslandParams) (*antlayer.IslandResult, error) {
+		res, err := s.cfg.Coordinator.RunIsland(ctx, g, p)
+		if errors.Is(err, shard.ErrNoWorkers) {
+			// The fleet drained between the check and the run.
+			s.metrics.distFallbacks.Add(1)
+			s.logf("worker fleet drained mid-request; running in-process")
+			return antlayer.IslandColonyRunContext(ctx, g, p)
+		}
+		if err == nil {
+			s.metrics.distRuns.Add(1)
+		}
+		return res, err
 	}
 }
 

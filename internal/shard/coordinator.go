@@ -1,0 +1,514 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/island"
+)
+
+// ErrNoWorkers reports a distributed run attempted with an empty fleet.
+var ErrNoWorkers = errors.New("shard: no workers registered")
+
+// errWorkerFailure tags run errors attributable to a worker (connection
+// died, protocol violation, worker-side failure); RunIsland expels the
+// worker and retries on the survivors — the partition invariance makes
+// the retry byte-identical, so a failure costs time, never answers.
+var errWorkerFailure = errors.New("shard: worker failure")
+
+// handshakeTimeout bounds how long an accepted connection may take to say
+// hello, so a port-scanner cannot hold an accept slot open.
+const handshakeTimeout = 10 * time.Second
+
+// CoordinatorConfig tunes a Coordinator. The zero value is usable.
+type CoordinatorConfig struct {
+	// Log receives registration and run-lifecycle lines. Nil discards.
+	Log *log.Logger
+}
+
+// workerConn is one registered worker: its parked connection plus the
+// latency bookkeeping /metrics reports per shard.
+type workerConn struct {
+	id   int
+	name string
+	conn net.Conn
+
+	// Guarded by the owning Coordinator's mu.
+	islands    int // size of the last run assignment
+	epochs     int64
+	epochTotal time.Duration
+	epochMax   time.Duration
+}
+
+// Coordinator owns the distributed archipelago's ring: workers register
+// with it, and RunIsland partitions an island run across them, plays the
+// epoch barrier and the ring exchange, and assembles the result. Create
+// with NewCoordinator, serve with Serve (or ListenAndServe), stop by
+// cancelling Serve's context.
+//
+// Runs are serialized over the fleet: one distributed run owns every
+// worker at a time. The HTTP daemon's cache and single-flight sit in
+// front, so concurrent identical requests still cost one run.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	workers map[int]*workerConn
+	nextID  int
+	seq     uint64
+
+	runMu sync.Mutex // serializes distributed runs over the fleet
+
+	runs       atomic.Int64
+	runErrors  atomic.Int64
+	epochs     atomic.Int64
+	migrations atomic.Int64
+}
+
+// NewCoordinator builds a Coordinator (zero-value config fine).
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	return &Coordinator{cfg: cfg, workers: make(map[int]*workerConn)}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Serve accepts worker registrations on ln until ctx is cancelled, then
+// closes the listener and every registered worker connection.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+		c.mu.Lock()
+		for id, w := range c.workers {
+			w.conn.Close()
+			delete(c.workers, id)
+		}
+		c.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("shard: accept: %w", err)
+		}
+		go c.handshake(conn)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c.logf("coordinator listening on %s", ln.Addr())
+	return c.Serve(ctx, ln)
+}
+
+// handshake runs the hello/welcome exchange and registers the worker.
+// The connection is then parked: no goroutine reads it until a run
+// claims the worker, so a worker that dies while idle is only discovered
+// (and expelled) by the next run.
+func (c *Coordinator) handshake(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	var m message
+	if err := readFrame(conn, &m); err != nil || m.Type != msgHello {
+		conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	c.nextID++
+	w := &workerConn{id: c.nextID, name: m.Name, conn: conn}
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", w.id)
+	}
+	c.workers[w.id] = w
+	n := len(c.workers)
+	c.mu.Unlock()
+	if err := writeFrame(conn, &message{Type: msgWelcome, WorkerID: w.id}); err != nil {
+		c.expel(w)
+		return
+	}
+	c.logf("worker %d (%s) registered from %s (%d in fleet)", w.id, w.name, conn.RemoteAddr(), n)
+}
+
+// expel removes a worker from the fleet and closes its connection.
+func (c *Coordinator) expel(w *workerConn) {
+	c.mu.Lock()
+	delete(c.workers, w.id)
+	n := len(c.workers)
+	c.mu.Unlock()
+	w.conn.Close()
+	c.logf("worker %d (%s) expelled (%d in fleet)", w.id, w.name, n)
+}
+
+// Workers returns the current fleet size.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// fleet snapshots the registered workers sorted by id. The sort keeps
+// partitions stable run over run; it has no bearing on results (any
+// partition yields the same bytes).
+func (c *Coordinator) fleet() []*workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+	return ws
+}
+
+// RunIsland executes the island run distributed over the registered
+// workers and returns the assembled result — byte-identical to
+// island.Run(ctx, g, p) by construction. A worker failure mid-run expels
+// the worker and restarts the run on the survivors; the error returns
+// only when the fleet is exhausted or ctx is done.
+func (c *Coordinator) RunIsland(ctx context.Context, g *dag.Graph, p island.Params) (*island.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.Migrator = nil // transport wiring never crosses the wire
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	for {
+		ws := c.fleet()
+		if len(ws) == 0 {
+			return nil, ErrNoWorkers
+		}
+		res, err := c.runOnce(ctx, ws, g, p)
+		if err == nil {
+			c.runs.Add(1)
+			return res, nil
+		}
+		c.runErrors.Add(1)
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if !errors.Is(err, errWorkerFailure) {
+			return nil, err
+		}
+		c.logf("distributed run failed (%v); retrying on the surviving workers", err)
+	}
+}
+
+// partition splits islands 0..k-1 contiguously over w workers: the first
+// k%w shards get one extra island, mirroring the corpus group split.
+func partition(k, w int) [][]int {
+	parts := make([][]int, w)
+	base, rem := k/w, k%w
+	next := 0
+	for i := range parts {
+		size := base
+		if i < rem {
+			size++
+		}
+		parts[i] = make([]int, size)
+		for j := range parts[i] {
+			parts[i][j] = next
+			next++
+		}
+	}
+	return parts
+}
+
+// runOnce drives one distributed run over the given fleet snapshot. Any
+// worker-attributable failure expels the offender, aborts the others
+// back to idle, and returns an error wrapping errWorkerFailure.
+func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Graph, p island.Params) (*island.Result, error) {
+	k := p.Islands
+	if len(ws) > k {
+		ws = ws[:k] // one island per process at minimum; extras sit out
+	}
+	parts := partition(k, len(ws))
+
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	for i, w := range ws {
+		w.islands = len(parts[i])
+	}
+	c.mu.Unlock()
+
+	// ctx watchdog: poison every read so a cancelled request cannot hang
+	// the barrier; the deadline is cleared again when the run unwinds.
+	stop := make(chan struct{})
+	var watchdog sync.WaitGroup
+	watchdog.Add(1)
+	go func() {
+		defer watchdog.Done()
+		select {
+		case <-ctx.Done():
+			now := time.Now()
+			for _, w := range ws {
+				_ = w.conn.SetReadDeadline(now)
+			}
+		case <-stop:
+		}
+	}()
+	defer func() {
+		close(stop)
+		watchdog.Wait()
+		for _, w := range ws {
+			_ = w.conn.SetReadDeadline(time.Time{})
+		}
+	}()
+
+	// abort returns the failure after expelling the offender (if any) and
+	// telling every other worker to drop the run.
+	abort := func(failed *workerConn, err error) error {
+		for _, w := range ws {
+			if w == failed {
+				continue
+			}
+			_ = w.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			_ = writeFrame(w.conn, &message{Type: msgError, Seq: seq, Error: err.Error()})
+			_ = w.conn.SetWriteDeadline(time.Time{})
+		}
+		if failed != nil {
+			c.expel(failed)
+			return fmt.Errorf("%w: worker %d (%s): %v", errWorkerFailure, failed.id, failed.name, err)
+		}
+		return err
+	}
+
+	// abortCancelled is the ctx-cancellation abort: the watchdog may have
+	// poisoned a read mid-frame, leaving a connection's byte stream
+	// desynchronized (a partially consumed frame cannot be resumed), so
+	// every connection this run touched is expelled rather than parked.
+	// Workers redial with backoff and rejoin the fleet cleanly.
+	abortCancelled := func() error {
+		err := abort(nil, fmt.Errorf("shard: run aborted: %w", ctx.Err()))
+		for _, w := range ws {
+			c.expel(w)
+		}
+		return err
+	}
+
+	snap := g.Snapshot()
+	for i, w := range ws {
+		run := &message{Type: msgRun, Seq: seq, Graph: &snap, Params: &p, Islands: parts[i]}
+		if err := writeFrame(w.conn, run); err != nil {
+			return nil, abort(w, err)
+		}
+	}
+
+	migrations := 0
+	for epoch := 1; ; epoch++ {
+		// Barrier: collect one epoch frame per worker. Reads run
+		// concurrently so one slow worker delays, not serializes, the
+		// rest; the elapsed time per worker is the per-shard epoch
+		// latency /metrics reports.
+		frames := make([]message, len(ws))
+		errs := make([]error, len(ws))
+		durs := make([]time.Duration, len(ws))
+		var wg sync.WaitGroup
+		for i, w := range ws {
+			wg.Add(1)
+			go func(i int, w *workerConn) {
+				defer wg.Done()
+				start := time.Now()
+				for {
+					var m message
+					if err := readFrame(w.conn, &m); err != nil {
+						errs[i] = err
+						return
+					}
+					if m.Seq != seq {
+						continue // straggler from an aborted run
+					}
+					if m.Type == msgError {
+						errs[i] = fmt.Errorf("worker-side failure: %s", m.Error)
+						return
+					}
+					if m.Type != msgEpoch || m.Epoch != epoch {
+						errs[i] = fmt.Errorf("protocol: want epoch %d, got %s/%d", epoch, m.Type, m.Epoch)
+						return
+					}
+					frames[i] = m
+					durs[i] = time.Since(start)
+					return
+				}
+			}(i, w)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, abortCancelled()
+				}
+				return nil, abort(ws[i], err)
+			}
+		}
+		c.epochs.Add(1)
+		c.mu.Lock()
+		for i, w := range ws {
+			w.epochs++
+			w.epochTotal += durs[i]
+			if durs[i] > w.epochMax {
+				w.epochMax = durs[i]
+			}
+		}
+		c.mu.Unlock()
+
+		// Assemble the global elite vector in ring order.
+		elites := make([]island.Elite, k)
+		seen := make([]bool, k)
+		for i := range ws {
+			if len(frames[i].Elites) != len(parts[i]) {
+				return nil, abort(ws[i], fmt.Errorf("protocol: %d elites for %d islands", len(frames[i].Elites), len(parts[i])))
+			}
+			for _, e := range frames[i].Elites {
+				if e.Island < 0 || e.Island >= k || seen[e.Island] {
+					return nil, abort(ws[i], fmt.Errorf("protocol: bad elite island %d", e.Island))
+				}
+				seen[e.Island] = true
+				elites[e.Island] = e
+			}
+		}
+		cont := false
+		for _, e := range elites {
+			if !e.Done {
+				cont = true
+				break
+			}
+		}
+		if !cont {
+			break
+		}
+		// The ring turns: island i's incoming elite is island (i-1+k)%k's,
+		// delivered positionally per worker. A single-island archipelago
+		// exchanges nothing (matching island.Ring).
+		for i, w := range ws {
+			migrate := &message{Type: msgMigrate, Seq: seq, Epoch: epoch}
+			if k > 1 {
+				incoming := make([]island.Elite, len(parts[i]))
+				for j, isl := range parts[i] {
+					incoming[j] = elites[(isl-1+k)%k]
+				}
+				migrate.Elites = incoming
+			}
+			if err := writeFrame(w.conn, migrate); err != nil {
+				return nil, abort(w, err)
+			}
+		}
+		if k > 1 {
+			migrations++
+			c.migrations.Add(1)
+		}
+	}
+
+	// Finish: collect every worker's reports and assemble.
+	for _, w := range ws {
+		if err := writeFrame(w.conn, &message{Type: msgFinish, Seq: seq}); err != nil {
+			return nil, abort(w, err)
+		}
+	}
+	reports := make([]island.Report, 0, k)
+	for i, w := range ws {
+		var m message
+		for {
+			if err := readFrame(w.conn, &m); err != nil {
+				if ctx.Err() != nil {
+					return nil, abortCancelled()
+				}
+				return nil, abort(w, err)
+			}
+			if m.Seq != seq {
+				continue
+			}
+			break
+		}
+		if m.Type == msgError {
+			return nil, abort(w, fmt.Errorf("worker-side failure: %s", m.Error))
+		}
+		if m.Type != msgReport || len(m.Reports) != len(parts[i]) {
+			return nil, abort(w, fmt.Errorf("protocol: want %d reports, got %s/%d", len(parts[i]), m.Type, len(m.Reports)))
+		}
+		reports = append(reports, m.Reports...)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Island < reports[j].Island })
+	res, err := island.Assemble(g, p, reports, migrations)
+	if err != nil {
+		return nil, abort(nil, err)
+	}
+	return res, nil
+}
+
+// WorkerMetrics is one shard's observability record.
+type WorkerMetrics struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	// Islands is the size of the worker's slice in the last run it
+	// participated in.
+	Islands int `json:"islands"`
+	// Epochs counts the epoch barriers the worker has answered;
+	// MeanEpochMs and MaxEpochMs summarise how long the coordinator
+	// waited for it at those barriers.
+	Epochs      int64   `json:"epochs"`
+	MeanEpochMs float64 `json:"mean_epoch_ms"`
+	MaxEpochMs  float64 `json:"max_epoch_ms"`
+}
+
+// ClusterMetrics is the coordinator's observability snapshot, served by
+// the daemon's /metrics and /cluster endpoints.
+type ClusterMetrics struct {
+	Workers    int             `json:"workers"`
+	Runs       int64           `json:"runs"`
+	RunErrors  int64           `json:"run_errors"`
+	Epochs     int64           `json:"epochs"`
+	Migrations int64           `json:"migrations"`
+	PerWorker  []WorkerMetrics `json:"per_worker,omitempty"`
+}
+
+// Metrics returns a point-in-time snapshot of the coordinator's counters.
+func (c *Coordinator) Metrics() ClusterMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := ClusterMetrics{
+		Workers:    len(c.workers),
+		Runs:       c.runs.Load(),
+		RunErrors:  c.runErrors.Load(),
+		Epochs:     c.epochs.Load(),
+		Migrations: c.migrations.Load(),
+	}
+	ids := make([]int, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		wm := WorkerMetrics{ID: w.id, Name: w.name, Islands: w.islands, Epochs: w.epochs}
+		if w.epochs > 0 {
+			wm.MeanEpochMs = float64(w.epochTotal.Nanoseconds()) / float64(w.epochs) / 1e6
+			wm.MaxEpochMs = float64(w.epochMax.Nanoseconds()) / 1e6
+		}
+		m.PerWorker = append(m.PerWorker, wm)
+	}
+	return m
+}

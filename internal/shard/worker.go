@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/island"
+)
+
+// errAborted tags a run the coordinator told the worker to drop; the
+// worker returns to idle without reporting.
+var errAborted = errors.New("shard: run aborted by coordinator")
+
+// WorkerConfig tunes a Worker. The zero value is usable.
+type WorkerConfig struct {
+	// Name identifies the worker in the coordinator's logs and metrics.
+	// Empty means the coordinator assigns "worker-<id>".
+	Name string
+	// Log receives run-lifecycle lines. Nil discards.
+	Log *log.Logger
+}
+
+// Worker hosts island slices for a coordinator: it dials, registers, and
+// then serves runs until the connection drops or the context is done.
+// One Worker serves one coordinator connection at a time; each run gets
+// a fresh island.Engine, so no state leaks between runs.
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker builds a Worker (zero-value config fine).
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Run dials the coordinator at addr, registers, and serves runs until
+// ctx is cancelled (returns nil) or the connection fails (returns the
+// error; callers typically back off and redial).
+func (w *Worker) Run(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shard: dial coordinator %s: %w", addr, err)
+	}
+	defer conn.Close()
+	// Unblock any pending read/write when ctx is cancelled.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := writeFrame(conn, &message{Type: msgHello, Name: w.cfg.Name}); err != nil {
+		return err
+	}
+	var welcome message
+	if err := readFrame(conn, &welcome); err != nil || welcome.Type != msgWelcome {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return fmt.Errorf("shard: registration with %s failed (got %v, err %v)", addr, welcome.Type, err)
+	}
+	w.logf("registered with coordinator %s as worker %d", addr, welcome.WorkerID)
+
+	for {
+		var m message
+		if err := readFrame(conn, &m); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("shard: coordinator connection lost: %w", err)
+		}
+		switch m.Type {
+		case msgRun:
+			if err := w.serveRun(ctx, conn, &m); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
+			}
+		case msgError:
+			// A stray abort for a run this worker already left; ignore.
+		default:
+			// Unknown frame while idle: tolerate (forward compatibility).
+		}
+	}
+}
+
+// serveRun executes one assigned run. Worker-side failures are reported
+// to the coordinator in-band and leave the connection usable; only
+// transport failures propagate (and end the connection).
+func (w *Worker) serveRun(ctx context.Context, conn net.Conn, run *message) error {
+	start := time.Now()
+	reports, err := w.computeRun(ctx, conn, run)
+	if err != nil {
+		if errors.Is(err, errAborted) {
+			w.logf("run seq=%d aborted by coordinator", run.Seq)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		// In-band failure: tell the coordinator and stay registered.
+		w.logf("run seq=%d failed: %v", run.Seq, err)
+		return writeFrame(conn, &message{Type: msgError, Seq: run.Seq, Error: err.Error()})
+	}
+	if err := writeFrame(conn, &message{Type: msgReport, Seq: run.Seq, Reports: reports}); err != nil {
+		return err
+	}
+	w.logf("run seq=%d: %d islands reported in %s", run.Seq, len(reports), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// computeRun builds the engine for the assigned slice and drives it
+// against the network migrator until the coordinator says the
+// archipelago is done.
+func (w *Worker) computeRun(ctx context.Context, conn net.Conn, run *message) ([]island.Report, error) {
+	if run.Graph == nil || run.Params == nil {
+		return nil, fmt.Errorf("shard: run frame missing graph or params")
+	}
+	g, err := dag.FromSnapshot(*run.Graph)
+	if err != nil {
+		return nil, err
+	}
+	e, err := island.NewEngine(g, *run.Params, run.Islands)
+	if err != nil {
+		return nil, err
+	}
+	m := &netMigrator{conn: conn, seq: run.Seq}
+	if _, err := island.Drive(ctx, e, m); err != nil {
+		return nil, err
+	}
+	return e.Finalize()
+}
+
+// netMigrator is the worker-side Migrator: the epoch barrier and the
+// elite exchange live on the far side of the coordinator connection.
+type netMigrator struct {
+	conn net.Conn
+	seq  uint64
+}
+
+// Exchange sends the local elites and blocks until the coordinator's
+// barrier answers — with the incoming elites (migrate), the end of the
+// run (finish), or an abort (error).
+func (m *netMigrator) Exchange(ctx context.Context, epoch int, local []island.Elite) ([]island.Elite, bool, error) {
+	if err := writeFrame(m.conn, &message{Type: msgEpoch, Seq: m.seq, Epoch: epoch, Elites: local}); err != nil {
+		return nil, false, err
+	}
+	for {
+		var reply message
+		if err := readFrame(m.conn, &reply); err != nil {
+			if ctx.Err() != nil {
+				return nil, false, fmt.Errorf("shard: exchange aborted: %w", ctx.Err())
+			}
+			return nil, false, err
+		}
+		if reply.Seq != m.seq {
+			continue // frame from another run; not ours
+		}
+		switch reply.Type {
+		case msgMigrate:
+			return reply.Elites, true, nil
+		case msgFinish:
+			return nil, false, nil
+		case msgError:
+			return nil, false, fmt.Errorf("%w: %s", errAborted, reply.Error)
+		default:
+			return nil, false, fmt.Errorf("shard: protocol: unexpected %s frame at the barrier", reply.Type)
+		}
+	}
+}
