@@ -31,6 +31,8 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		jobRetain   = fs.Int("job-retention", 256, "finished jobs kept pollable before eviction")
 		jobExpiry   = fs.Duration("job-expiry", 0, "additionally evict finished jobs older than this (0 = count bound only)")
 		coordinator = fs.String("coordinator", "", "also run a shard coordinator on this address (e.g. :8650); workers join with 'daglayer worker'")
+		hbTimeout   = fs.Duration("heartbeat-timeout", 0, "expel workers silent longer than this (0 = library default, negative disables)")
+		faultDelay  = fs.Duration("fault-compute-delay", 0, "TESTING ONLY: add this delay to every computation, simulating a slow backend for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-request logging")
 	)
 	fs.Usage = func() {
@@ -64,18 +66,19 @@ flags:
 		return err
 	}
 	cfg := server.Config{
-		Addr:           *addr,
-		CacheSize:      *cacheSize,
-		CacheMaxBytes:  *cacheBytes,
-		MaxConcurrent:  *maxConc,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		ShutdownGrace:  *grace,
-		JobWorkers:     *jobWorkers,
-		JobQueueDepth:  *jobQueue,
-		JobRetention:   *jobRetain,
-		JobExpiry:      *jobExpiry,
+		Addr:              *addr,
+		CacheSize:         *cacheSize,
+		CacheMaxBytes:     *cacheBytes,
+		MaxConcurrent:     *maxConc,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxBodyBytes:      *maxBody,
+		ShutdownGrace:     *grace,
+		JobWorkers:        *jobWorkers,
+		JobQueueDepth:     *jobQueue,
+		JobRetention:      *jobRetain,
+		JobExpiry:         *jobExpiry,
+		FaultComputeDelay: *faultDelay,
 	}
 	if !*quiet {
 		cfg.Log = log.New(stdout, "daglayer: ", log.LstdFlags)
@@ -84,7 +87,7 @@ flags:
 		// The coordinator listens on its own port with its own accept
 		// loop; the daemon only uses it for distributed compute and
 		// metrics. Both shut down with ctx.
-		coord := shard.NewCoordinator(shard.CoordinatorConfig{Log: cfg.Log})
+		coord := shard.NewCoordinator(shard.CoordinatorConfig{Log: cfg.Log, HeartbeatTimeout: *hbTimeout})
 		ln, err := net.Listen("tcp", *coordinator)
 		if err != nil {
 			return fmt.Errorf("coordinator: %w", err)

@@ -6,21 +6,100 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync"
 	"time"
 
 	"antlayer/internal/shard"
 )
 
+// reconnectBackoff computes the worker's retry schedule: exponential
+// doubling from base up to max, plus a deterministic jitter keyed off the
+// attempt counter — so a restarted fleet doesn't redial in lockstep, yet
+// the exact schedule is pinned by a unit test. reset() (wired to the
+// worker's OnRegister callback) snaps the schedule back to base after a
+// successful registration, so one long outage doesn't make the worker
+// sluggish about the next brief one.
+type reconnectBackoff struct {
+	base, max time.Duration
+
+	mu      sync.Mutex
+	attempt int
+}
+
+// next returns the delay before the upcoming reconnect attempt and
+// advances the schedule. Attempt k waits base<<k plus (k%5) sixteenths of
+// that doubled delay, capped at max.
+func (b *reconnectBackoff) next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.base
+	for i := 0; i < b.attempt && d < b.max; i++ {
+		d *= 2
+	}
+	d += time.Duration(b.attempt%5) * (d / 16)
+	if d > b.max {
+		d = b.max
+	}
+	b.attempt++
+	return d
+}
+
+// reset snaps the schedule back to the base delay.
+func (b *reconnectBackoff) reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// sleepCtx waits d or returns false when ctx dies first. workerLoop takes
+// it as a parameter so tests can run the schedule against a fake clock.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// workerLoop is the reconnect loop, factored out of runWorker so the
+// backoff behaviour is unit-testable: run performs one registration
+// session and returns when the connection is lost; sleep waits out the
+// backoff delay (or reports the context died). A zero or negative base
+// disables retrying — the first connection error is returned as-is.
+func workerLoop(ctx context.Context, coordinator string, run func(context.Context) error, b *reconnectBackoff, sleep func(context.Context, time.Duration) bool, logger *log.Logger) error {
+	for {
+		err := run(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if b.base <= 0 {
+			return err
+		}
+		d := b.next()
+		if logger != nil {
+			logger.Printf("connection to %s lost (%v); retrying in %s", coordinator, err, d)
+		}
+		if !sleep(ctx, d) {
+			return nil
+		}
+	}
+}
+
 // runWorker joins a coordinator's archipelago: dial, register, and host
 // assigned island slices until ctx is cancelled. A lost connection is
-// retried with a fixed backoff — the coordinator expels dead workers and
-// re-registration is all it takes to rejoin the fleet.
+// retried with capped exponential backoff that resets after a successful
+// registration — the coordinator expels dead workers and re-registration
+// is all it takes to rejoin the fleet.
 func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("daglayer worker", flag.ContinueOnError)
 	var (
 		coordinator = fs.String("coordinator", "", "coordinator address to register with (required), e.g. host:8650")
 		name        = fs.String("name", "", "worker name in the coordinator's logs and /cluster (default: worker-<id>)")
-		retry       = fs.Duration("retry", 2*time.Second, "backoff between reconnect attempts; 0 exits on the first connection error")
+		retry       = fs.Duration("retry", 2*time.Second, "base backoff between reconnect attempts (doubles per failure); 0 exits on the first connection error")
+		retryMax    = fs.Duration("retry-max", 30*time.Second, "cap on the reconnect backoff")
+		heartbeat   = fs.Duration("heartbeat", 0, "liveness heartbeat interval (0 = library default, negative disables)")
+		faultDelay  = fs.Duration("fault-epoch-delay", 0, "TESTING ONLY: sleep this long every epoch, simulating a slow worker for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-run logging")
 	)
 	fs.Usage = func() {
@@ -47,22 +126,23 @@ flags:
 	if !*quiet {
 		logger = log.New(stdout, "daglayer worker: ", log.LstdFlags)
 	}
-	w := shard.NewWorker(shard.WorkerConfig{Name: *name, Log: logger})
-	for {
-		err := w.Run(ctx, *coordinator)
-		if ctx.Err() != nil {
-			return nil
-		}
-		if *retry <= 0 {
-			return err
-		}
-		if logger != nil {
-			logger.Printf("connection to %s lost (%v); retrying in %s", *coordinator, err, *retry)
-		}
-		select {
-		case <-ctx.Done():
-			return nil
-		case <-time.After(*retry):
-		}
+	b := &reconnectBackoff{base: *retry, max: *retryMax}
+	if b.max < b.base {
+		b.max = b.base
 	}
+	wcfg := shard.WorkerConfig{
+		Name:              *name,
+		Log:               logger,
+		HeartbeatInterval: *heartbeat,
+		// A successful registration resets the backoff: the next outage
+		// starts the schedule from the base delay again.
+		OnRegister: func(int) { b.reset() },
+	}
+	if *faultDelay > 0 {
+		wcfg.Fault = &shard.FaultPlan{EpochDelay: *faultDelay}
+	}
+	w := shard.NewWorker(wcfg)
+	return workerLoop(ctx, *coordinator, func(ctx context.Context) error {
+		return w.Run(ctx, *coordinator)
+	}, b, sleepCtx, logger)
 }

@@ -1,0 +1,276 @@
+// Command loadgen drives a daglayer cluster under hostile traffic: it
+// runs the chaos scenarios from internal/chaos — seeded load mixes with
+// injected faults (killed workers, a restarted coordinator, a flooded
+// job queue, oversize bodies) — samples per-phase latency percentiles and
+// error classes, and gates on the scenarios' SLOs. CI runs the fast
+// subset on every PR and the full matrix nightly; the slo_report.json it
+// writes is the build artifact reviewers read when the gate trips.
+//
+//	loadgen -list
+//	loadgen -scenario worker-kill
+//	loadgen -scenario fast -out slo_report.json
+//	loadgen -addr http://localhost:8645 -rps 50 -duration 30s -mix hot=3,cold=1,jobs=1
+//
+// The exit status is the gate: 0 when every SLO held, 1 when any phase
+// missed one, 2 on harness errors (binary missing, cluster never came
+// up).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"antlayer/internal/chaos"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenario = fs.String("scenario", "", "scenario to run: a name from -list, 'fast' (CI subset), or 'all'")
+		list     = fs.Bool("list", false, "list scenarios and exit")
+		out      = fs.String("out", "", "write slo_report.json here ('' = stdout only)")
+		bin      = fs.String("bin", "", "daglayer binary to spawn (default: 'go build' it into a temp dir)")
+		stretch  = fs.Float64("stretch", 1, "multiply every phase duration (nightly soak uses >1)")
+		verbose  = fs.Bool("v", false, "stream the process tree's stderr instead of discarding it")
+
+		addr     = fs.String("addr", "", "raw load mode: drive this already-running daemon instead of a scenario")
+		rps      = fs.Float64("rps", 25, "raw load mode: request rate")
+		duration = fs.Duration("duration", 10*time.Second, "raw load mode: how long to drive")
+		mixFlag  = fs.String("mix", "hot=3,cold=1,jobs=1", "raw load mode: traffic weights hot,cold,distributed,jobs,oversize")
+		seed     = fs.Int64("seed", 1, "raw load mode: generator seed")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: loadgen -scenario {name|fast|all} [flags]
+       loadgen -addr http://host:port [-rps N -duration D -mix hot=3,cold=1] [flags]
+
+Load/chaos harness for the daglayer cluster: spawns a real process tree
+(daemon, coordinator, workers), drives a seeded traffic mix through
+warmup/inject/recovery phases while injecting the scenario's fault, and
+gates on per-phase SLOs — latency percentiles, unexpected-error rates,
+recovery time, and byte-identical post-recovery answers. See DESIGN.md
+§11.
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(stdout, "loadgen: ", log.LstdFlags)
+
+	if *list {
+		for _, sc := range chaos.Scenarios() {
+			tag := "     "
+			if sc.Fast {
+				tag = "fast "
+			}
+			fmt.Fprintf(stdout, "%s%-20s %s\n", tag, sc.Name, sc.Description)
+		}
+		return 0
+	}
+
+	if *addr != "" {
+		return rawLoad(ctx, logger, stdout, *addr, *rps, *duration, *mixFlag, *seed)
+	}
+
+	if *scenario == "" {
+		fs.Usage()
+		return 2
+	}
+	var selected []chaos.Scenario
+	switch *scenario {
+	case "all":
+		selected = chaos.Scenarios()
+	case "fast":
+		for _, sc := range chaos.Scenarios() {
+			if sc.Fast {
+				selected = append(selected, sc)
+			}
+		}
+	default:
+		sc, ok := chaos.Lookup(*scenario)
+		if !ok {
+			fmt.Fprintf(stderr, "loadgen: unknown scenario %q (try -list)\n", *scenario)
+			return 2
+		}
+		selected = []chaos.Scenario{sc}
+	}
+
+	binary, cleanup, err := resolveBinary(*bin)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	defer cleanup()
+
+	procLog := io.Writer(io.Discard)
+	if *verbose {
+		procLog = stderr
+	}
+	summary := chaos.Summary{Pass: true}
+	for _, sc := range selected {
+		report, err := chaos.Run(ctx, sc, chaos.RunOptions{
+			Bin:        binary,
+			Stretch:    *stretch,
+			Log:        logger,
+			ProcessLog: procLog,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: scenario %s: %v\n", sc.Name, err)
+			return 2
+		}
+		summary.Reports = append(summary.Reports, *report)
+		if !report.Pass {
+			summary.Pass = false
+		}
+	}
+
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
+		logger.Printf("report written to %s", *out)
+	}
+	printSummary(stdout, summary)
+	if !summary.Pass {
+		return 1
+	}
+	return 0
+}
+
+// printSummary renders the human-readable verdict table.
+func printSummary(w io.Writer, s chaos.Summary) {
+	for _, r := range s.Reports {
+		fmt.Fprintf(w, "%-20s %s\n", r.Scenario, passFail(r.Pass))
+		for _, p := range r.Phases {
+			fmt.Fprintf(w, "  %-10s %5d req  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  err %.3f  %s\n",
+				p.Name, p.Requests, p.P50Ms, p.P95Ms, p.P99Ms, p.ErrorRate, passFail(p.Pass))
+		}
+		if r.RecoverySeconds >= 0 {
+			fmt.Fprintf(w, "  recovered in %.1fs\n", r.RecoverySeconds)
+		}
+		if r.ProbeIdentical != nil {
+			fmt.Fprintf(w, "  post-recovery bytes identical: %t\n", *r.ProbeIdentical)
+		}
+		for _, f := range r.Failures {
+			fmt.Fprintf(w, "  FAIL: %s\n", f)
+		}
+	}
+	fmt.Fprintf(w, "overall: %s\n", passFail(s.Pass))
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// rawLoad is the scenario-less mode: drive an already-running daemon and
+// print one phase report (no SLO gate — this is for eyeballing a live
+// instance, not for CI).
+func rawLoad(ctx context.Context, logger *log.Logger, stdout io.Writer, addr string, rps float64, d time.Duration, mixFlag string, seed int64) int {
+	mix, err := parseMix(mixFlag)
+	if err != nil {
+		logger.Printf("bad -mix: %v", err)
+		return 2
+	}
+	logger.Printf("driving %s at %.0f rps for %s (mix %+v)", addr, rps, d, mix)
+	gen := chaos.NewGenerator(addr, seed)
+	samples := gen.Run(ctx, d, rps, mix)
+	pr := chaos.PhaseFromSamples("raw", d.Seconds(), samples)
+	data, err := json.MarshalIndent(pr, "", "  ")
+	if err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s\n", data)
+	return 0
+}
+
+// parseMix decodes "hot=3,cold=1,jobs=1" into weights.
+func parseMix(s string) (chaos.Mix, error) {
+	var mix chaos.Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return mix, fmt.Errorf("want class=weight, got %q", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 0 {
+			return mix, fmt.Errorf("weight %q: want a non-negative integer", kv[1])
+		}
+		switch kv[0] {
+		case "hot":
+			mix.Hot = n
+		case "cold":
+			mix.Cold = n
+		case "distributed", "dist":
+			mix.Distributed = n
+		case "jobs":
+			mix.Jobs = n
+		case "oversize", "over":
+			mix.Oversize = n
+		default:
+			return mix, fmt.Errorf("unknown class %q (want hot|cold|distributed|jobs|oversize)", kv[0])
+		}
+	}
+	if mix.Hot+mix.Cold+mix.Distributed+mix.Jobs+mix.Oversize == 0 {
+		return mix, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+// resolveBinary returns the daglayer binary to spawn: the -bin flag, or a
+// fresh `go build` into a temp dir (loadgen is expected to run from the
+// module tree, as `go run ./cmd/loadgen` does).
+func resolveBinary(bin string) (string, func(), error) {
+	if bin != "" {
+		if _, err := os.Stat(bin); err != nil {
+			return "", nil, fmt.Errorf("-bin %s: %w", bin, err)
+		}
+		return bin, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "loadgen-*")
+	if err != nil {
+		return "", nil, err
+	}
+	out := filepath.Join(dir, "daglayer")
+	cmd := exec.Command("go", "build", "-o", out, "antlayer/cmd/daglayer")
+	if b, err := cmd.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("go build daglayer: %v\n%s", err, b)
+	}
+	return out, func() { os.RemoveAll(dir) }, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"antlayer/internal/chaos"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("hot=3,cold=1,jobs=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix != (chaos.Mix{Hot: 3, Cold: 1, Jobs: 2}) {
+		t.Errorf("mix = %+v", mix)
+	}
+	mix, err = parseMix("dist=1, oversize=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix != (chaos.Mix{Distributed: 1, Oversize: 2}) {
+		t.Errorf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"", "hot", "hot=x", "hot=-1", "nope=3"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestListScenarios pins the CLI contract the CI job depends on: -list
+// names every scenario and marks the fast subset.
+func TestListScenarios(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"worker-kill", "slow-worker", "coordinator-restart", "queue-full", "oversize-flood"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %q:\n%s", name, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "fast ") {
+		t.Errorf("-list does not mark the fast subset:\n%s", out.String())
+	}
+}
+
+func TestUnknownScenarioExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), []string{"-scenario", "no-such"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown scenario exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scenario") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestNoArgsUsageExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(context.Background(), nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}

@@ -181,8 +181,11 @@ type Stats struct {
 	// Expired counts terminal jobs evicted by the age-based retention
 	// sweep (count-bound evictions are not included).
 	Expired int64 `json:"expired"`
-	// Depth is the backlog bound Submit enforces.
-	Depth int `json:"depth"`
+	// Depth is the backlog bound Submit enforces; Workers is the pool
+	// size draining it. Together with the Queued gauge they determine
+	// RetryAfter.
+	Depth   int `json:"depth"`
+	Workers int `json:"workers"`
 }
 
 // Queue is a bounded job queue with a fixed worker pool. Create with New,
@@ -217,6 +220,7 @@ func New(cfg Config) *Queue {
 		jobs:       make(map[string]*Job),
 	}
 	q.stats.Depth = cfg.Depth
+	q.stats.Workers = cfg.Workers
 	for i := 0; i < cfg.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
@@ -391,6 +395,32 @@ func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.stats
+}
+
+// RetryAfter suggests, in whole seconds, when a submitter rejected with
+// ErrQueueFull should try again: the number of queue-drain rounds ahead
+// of it — backlog plus the jobs already running, divided by the worker
+// pool — clamped to [1, 30]. The value is a pure function of the queue
+// stats (see RetryAfterSeconds), so clients see a backlog-proportional
+// hint instead of a constant, and tests can pin it deterministically.
+func (q *Queue) RetryAfter() int {
+	return RetryAfterSeconds(q.Stats())
+}
+
+// RetryAfterSeconds is RetryAfter computed from a stats snapshot.
+func RetryAfterSeconds(s Stats) int {
+	workers := int64(s.Workers)
+	if workers <= 0 {
+		workers = 1
+	}
+	rounds := (s.Queued + s.Running + workers - 1) / workers
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > 30 {
+		rounds = 30
+	}
+	return int(rounds)
 }
 
 // Close stops the queue: no further Submit succeeds, queued jobs fail as

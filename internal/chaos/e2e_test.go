@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildDaglayer compiles the daglayer binary once per test binary.
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+func buildDaglayer(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "chaos-e2e-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "daglayer")
+		cmd := exec.Command("go", "build", "-o", builtBin, "antlayer/cmd/daglayer")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+// TestOversizeFloodScenarioEndToEnd runs the cheapest real scenario — a
+// single daemon, no fleet — through the full 3-phase runner and asserts
+// the SLOs hold: oversize bodies 413 cheaply while normal traffic keeps
+// flowing.
+func TestOversizeFloodScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos e2e skipped in -short mode")
+	}
+	sc, ok := Lookup("oversize-flood")
+	if !ok {
+		t.Fatal("oversize-flood missing from the registry")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	report, err := Run(ctx, sc, RunOptions{
+		Bin:        buildDaglayer(t),
+		Log:        log.New(testWriter{t}, "chaos: ", 0),
+		ProcessLog: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		t.Errorf("oversize-flood failed its SLOs: %v", report.Failures)
+	}
+	if len(report.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(report.Phases))
+	}
+	inject := report.Phases[1]
+	if inject.Classes["413"] == 0 {
+		t.Errorf("inject phase saw no 413s — the flood never happened: %v", inject.Classes)
+	}
+	if inject.Classes["ok"] == 0 {
+		t.Errorf("inject phase starved well-formed traffic: %v", inject.Classes)
+	}
+}
+
+// TestQueueFullScenarioEndToEnd exercises the async-path chaos: the
+// bounded queue must reject with stats-derived Retry-After under flood
+// and drain afterwards.
+func TestQueueFullScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos e2e skipped in -short mode")
+	}
+	sc, ok := Lookup("queue-full")
+	if !ok {
+		t.Fatal("queue-full missing from the registry")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	report, err := Run(ctx, sc, RunOptions{
+		Bin:        buildDaglayer(t),
+		Log:        log.New(testWriter{t}, "chaos: ", 0),
+		ProcessLog: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		t.Errorf("queue-full failed its SLOs: %v", report.Failures)
+	}
+	inject := report.Phases[1]
+	if inject.Classes["429"] == 0 {
+		t.Errorf("inject phase saw no 429s — the queue never filled: %v", inject.Classes)
+	}
+	if inject.Classes["429_no_retry_after"] != 0 {
+		t.Errorf("429s without a usable Retry-After: %v", inject.Classes)
+	}
+	if report.RecoverySeconds < 0 {
+		t.Error("queue never drained after the flood")
+	}
+}
+
+// testWriter adapts t.Logf so the chaos narration lands in test output.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,264 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Phase is one third of a scenario: a duration of generated load with its
+// own rate, mix, tolerated error classes, and SLO. The runner executes
+// the scenario's fault action at the start of the inject phase and its
+// recovery action at the start of the recovery phase.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	// RPS overrides the scenario rate for this phase (0 = inherit).
+	RPS float64
+	// Mix overrides the scenario mix for this phase (nil = inherit).
+	Mix *Mix
+	// Expected lists error classes this phase tolerates — they do not
+	// count toward the SLO's error rate. ("conn" during a coordinator
+	// restart, "429" during a queue flood.)
+	Expected []string
+	SLO      SLO
+}
+
+// Scenario is a declarative chaos experiment: cluster shape, traffic,
+// the fault, the recovery, and the per-phase SLOs. Scenarios are fully
+// deterministic in their inputs (fixed Seed, fixed phase boundaries);
+// the measured latencies of course are not — that is what the SLOs
+// bound.
+type Scenario struct {
+	Name        string
+	Description string
+	// Fast marks the scenario for the per-PR CI subset (seconds, not
+	// minutes); the nightly run executes every scenario.
+	Fast bool
+	Seed int64
+	// Workers is the fleet size (0 = plain daemon, no coordinator).
+	Workers    int
+	ServeArgs  []string
+	WorkerArgs []string
+	RPS        float64
+	Mix        Mix
+	// Probe enables the byte-identical check: a distributed reference
+	// answer is recorded pre-fault and the same request must return the
+	// same bytes post-recovery. Scenarios using it disable the daemon's
+	// cache so both answers are real computations.
+	Probe bool
+	// RecoveryTimeout bounds the recovery-to-healthy wait (default 20s).
+	RecoveryTimeout time.Duration
+	// Healthy overrides the recovery predicate (default: /healthz 200
+	// and the fleet back to Workers).
+	Healthy func(ctx context.Context, c *Cluster) bool
+	// Inject applies the fault; Recover undoes it (either may be nil).
+	Inject  func(ctx context.Context, c *Cluster) error
+	Recover func(ctx context.Context, c *Cluster) error
+	Phases  []Phase
+}
+
+// fastWorkerArgs makes chaos-scale timing: quick redials and chatty
+// heartbeats, so fault detection and recovery fit in a seconds-long
+// phase.
+var fastWorkerArgs = []string{"-retry", "100ms", "-retry-max", "1s", "-heartbeat", "250ms", "-quiet"}
+
+// Scenarios returns the registry, in a stable order.
+func Scenarios() []Scenario {
+	return []Scenario{workerKill(), slowWorker(), coordinatorRestart(), queueFull(), oversizeFlood()}
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// workerKill: SIGKILL one of two workers mid-traffic. The coordinator
+// must detect the death (read error or heartbeat silence), expel it, and
+// retry in-flight runs on the survivor — so distributed requests keep
+// succeeding with zero unexpected errors even during the fault. Recovery
+// starts a replacement worker. The cache is disabled so the probe's
+// post-recovery answer is a real computation.
+func workerKill() Scenario {
+	return Scenario{
+		Name:        "worker-kill",
+		Description: "SIGKILL 1 of 2 workers during distributed traffic; expel-and-retry keeps answers flowing; a replacement restores the fleet",
+		Fast:        true,
+		Seed:        61,
+		Workers:     2,
+		ServeArgs:   []string{"-cache", "-1", "-heartbeat-timeout", "1s"},
+		WorkerArgs:  fastWorkerArgs,
+		RPS:         25,
+		Mix:         Mix{Cold: 2, Distributed: 3},
+		Probe:       true,
+		Inject: func(ctx context.Context, c *Cluster) error {
+			return c.KillWorker("w1")
+		},
+		Recover: func(ctx context.Context, c *Cluster) error {
+			return c.StartWorker(ctx, "w1b")
+		},
+		Phases: []Phase{
+			{Name: "warmup", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
+			// During the kill, a distributed run caught mid-epoch retries
+			// on the survivor: slower, but still correct — the SLO allows
+			// latency, not errors.
+			{Name: "inject", Duration: 3 * time.Second, SLO: SLO{MaxP99Ms: 9000, MaxErrorRate: 0.02, MinRequests: 10}},
+			{Name: "recovery", Duration: 3 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 10}},
+		},
+	}
+}
+
+// slowWorker: a third worker joins with an injected per-epoch delay. The
+// barrier makes every distributed run as slow as its slowest shard, so
+// p99 rises — but the answers stay byte-identical (the probe pins it),
+// and heartbeats keep the slow worker from being mistaken for dead.
+// Recovery kills the laggard.
+func slowWorker() Scenario {
+	return Scenario{
+		Name:        "slow-worker",
+		Description: "a worker with an injected epoch delay joins the fleet; latency degrades, correctness and liveness do not",
+		Fast:        false,
+		Seed:        62,
+		Workers:     2,
+		ServeArgs:   []string{"-cache", "-1", "-heartbeat-timeout", "1s"},
+		WorkerArgs:  fastWorkerArgs,
+		RPS:         20,
+		Mix:         Mix{Cold: 2, Distributed: 3},
+		Probe:       true,
+		Inject: func(ctx context.Context, c *Cluster) error {
+			if err := c.StartWorker(ctx, "laggard", "-fault-epoch-delay", "40ms"); err != nil {
+				return err
+			}
+			return c.WaitFleet(ctx, 3, 10*time.Second)
+		},
+		Recover: func(ctx context.Context, c *Cluster) error {
+			return c.KillWorker("laggard")
+		},
+		Phases: []Phase{
+			{Name: "warmup", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
+			// The laggard drags the barrier but must not break anything:
+			// zero unexpected errors, and no heartbeat expulsion (it is
+			// slow, not dead).
+			{Name: "inject", Duration: 4 * time.Second, SLO: SLO{MaxP99Ms: 9000, MaxErrorRate: 0, MinRequests: 10}},
+			{Name: "recovery", Duration: 3 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0.02, MinRequests: 10, MaxRecoverySeconds: 10}},
+		},
+	}
+}
+
+// coordinatorRestart: SIGKILL the daemon itself, then restart it on the
+// same ports. During the outage every request fails at the transport
+// ("conn" is the expected class); afterwards the workers' backoff redial
+// must rebuild the fleet without manual help, and answers must match the
+// pre-fault reference.
+func coordinatorRestart() Scenario {
+	return Scenario{
+		Name:        "coordinator-restart",
+		Description: "SIGKILL the daemon mid-traffic, restart on the same ports; workers redial with backoff and the fleet self-heals",
+		Fast:        false,
+		Seed:        63,
+		Workers:     2,
+		ServeArgs:   []string{"-cache", "-1", "-heartbeat-timeout", "1s"},
+		WorkerArgs:  fastWorkerArgs,
+		RPS:         25,
+		Mix:         Mix{Cold: 2, Distributed: 3},
+		Probe:       true,
+		Inject: func(ctx context.Context, c *Cluster) error {
+			return c.KillServe()
+		},
+		Recover: func(ctx context.Context, c *Cluster) error {
+			return c.RestartServe(ctx)
+		},
+		Phases: []Phase{
+			{Name: "warmup", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
+			// The daemon is down: refused connections are the point. The
+			// SLO asserts the failure is *clean* — fast transport errors,
+			// not hangs or garbage answers.
+			{Name: "inject", Duration: 2 * time.Second, Expected: []string{"conn", "timeout"}, SLO: SLO{MaxErrorRate: 0, MinRequests: 10}},
+			{Name: "recovery", Duration: 5 * time.Second, Expected: []string{"conn", "timeout"}, SLO: SLO{MaxP99Ms: 9000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 12}},
+		},
+	}
+}
+
+// queueFull: a deliberately tiny job queue over a slowed backend, flooded
+// with submissions. Beyond the backlog bound every submit must answer 429
+// with a stats-derived Retry-After (a 429 without one is the distinct,
+// never-tolerated class "429_no_retry_after"); once the flood stops the
+// queue drains and service recovers without a restart.
+func queueFull() Scenario {
+	healthy := func(ctx context.Context, c *Cluster) bool {
+		m, err := c.Metrics()
+		return err == nil && m.Jobs.Queued == 0
+	}
+	return Scenario{
+		Name:        "queue-full",
+		Description: "flood a bounded job queue over a slow backend; 429s carry stats-derived Retry-After and the queue drains after the flood",
+		Fast:        true,
+		Seed:        64,
+		Workers:     0,
+		ServeArgs:   []string{"-job-workers", "1", "-job-queue", "2", "-fault-compute-delay", "150ms"},
+		RPS:         10,
+		Mix:         Mix{Hot: 1, Jobs: 4},
+		Healthy:     healthy,
+		Phases: []Phase{
+			{Name: "warmup", Duration: 2 * time.Second, RPS: 4, Expected: []string{"429"}, SLO: SLO{MaxErrorRate: 0, MinRequests: 5}},
+			// The flood: submissions far outrun one 150ms-per-job worker.
+			// Rejections are expected; job timeouts are not, and the
+			// synchronous path must stay responsive.
+			{Name: "inject", Duration: 3 * time.Second, RPS: 40, Expected: []string{"429"}, SLO: SLO{MaxErrorRate: 0.02, MinRequests: 40}},
+			{Name: "recovery", Duration: 3 * time.Second, RPS: 3, Expected: []string{"429"}, SLO: SLO{MaxErrorRate: 0, MinRequests: 5, MaxRecoverySeconds: 10}},
+		},
+	}
+}
+
+// oversizeFlood: bodies beyond -max-body mixed into normal traffic. The
+// daemon must reject each with 413 at the size limit — cheaply, without
+// reading the world — while the well-formed share of traffic keeps its
+// latency.
+func oversizeFlood() Scenario {
+	return Scenario{
+		Name:        "oversize-flood",
+		Description: "flood the daemon with bodies over -max-body; 413s are cheap and well-formed traffic keeps flowing",
+		Fast:        true,
+		Seed:        65,
+		Workers:     0,
+		ServeArgs:   []string{"-max-body", "16384"},
+		RPS:         25,
+		Mix:         Mix{Hot: 3, Cold: 2},
+		Phases: []Phase{
+			{Name: "warmup", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
+			{Name: "inject", Duration: 3 * time.Second, RPS: 40, Mix: &Mix{Hot: 2, Cold: 1, Oversize: 3}, Expected: []string{"413"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 40}},
+			{Name: "recovery", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 5}},
+		},
+	}
+}
+
+// validate sanity-checks a scenario definition (used by tests and the
+// runner so a typo'd registry entry fails loudly).
+func (sc Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario has no name")
+	}
+	if len(sc.Phases) != 3 {
+		return fmt.Errorf("%s: want 3 phases (warmup/inject/recovery), have %d", sc.Name, len(sc.Phases))
+	}
+	for i, want := range []string{"warmup", "inject", "recovery"} {
+		if sc.Phases[i].Name != want {
+			return fmt.Errorf("%s: phase %d is %q, want %q", sc.Name, i, sc.Phases[i].Name, want)
+		}
+	}
+	if sc.Mix.total() <= 0 {
+		return fmt.Errorf("%s: empty traffic mix", sc.Name)
+	}
+	if sc.Probe && sc.Workers == 0 {
+		return fmt.Errorf("%s: byte-identical probe needs a coordinator fleet", sc.Name)
+	}
+	if sc.Mix.Distributed > 0 && sc.Workers == 0 {
+		return fmt.Errorf("%s: distributed traffic needs workers", sc.Name)
+	}
+	return nil
+}

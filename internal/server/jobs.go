@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,8 +74,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if errors.Is(err, batch.ErrQueueFull) {
-			w.Header().Set("Retry-After", "1")
-			s.httpError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.cfg.JobQueueDepth)
+			// The hint is derived from the queue stats — backlog and
+			// running jobs over the worker pool — not a constant, so
+			// clients back off proportionally to the actual congestion.
+			retry := s.jobs.RetryAfter()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.httpError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry in %ds", s.cfg.JobQueueDepth, retry)
 			return
 		}
 		s.httpError(w, http.StatusServiceUnavailable, "job queue closed: %v", err)

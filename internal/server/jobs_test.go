@@ -213,8 +213,10 @@ func TestJobsQueueFull(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// The hint is pinned to the queue-stats formula (batch.RetryAfterSeconds):
+	// workers=1, running=1, queued=1 → 2 drain rounds, not a constant "1".
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q (derived from queue stats)", got, "2")
 	}
 	if m := metricsOf(t, ts); m.Jobs.Rejected != 1 {
 		t.Fatalf("rejected counter %d, want 1", m.Jobs.Rejected)

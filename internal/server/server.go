@@ -88,6 +88,12 @@ type Config struct {
 	// than this (a retention sweep runs in the background). 0 keeps jobs
 	// until the count bound evicts them.
 	JobExpiry time.Duration
+	// FaultComputeDelay is a test-only fault hook: every computation (a
+	// /layer miss or a job picked up by a worker) sleeps this long before
+	// running the colony. The chaos harness uses it to make latency and
+	// queue pressure reproducible — a deterministic "slow backend" —
+	// without touching the algorithms. Leave zero in production.
+	FaultComputeDelay time.Duration
 	// Coordinator, when non-nil, makes this daemon the archipelago's
 	// coordinator: requests with distributed=true run algo=island sharded
 	// over the coordinator's registered workers (byte-identical to the
@@ -372,6 +378,18 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 			}
 		}
 		s.metrics.inFlight.Add(1)
+		if d := s.cfg.FaultComputeDelay; d > 0 {
+			// Injected latency (chaos testing only); honours the deadline
+			// like any real computation would.
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				s.metrics.inFlight.Add(-1)
+				release()
+				s.flights.finish(key, fl, nil, ctx.Err())
+				return nil, "", "computing", ctx.Err()
+			}
+		}
 		body, toursRun, err := ComputeWith(ctx, req, g, names, s.islandRunner(req))
 		s.metrics.toursRun.Add(int64(toursRun))
 		s.metrics.inFlight.Add(-1)

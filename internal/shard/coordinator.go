@@ -28,14 +28,34 @@ var errWorkerFailure = errors.New("shard: worker failure")
 // hello, so a port-scanner cannot hold an accept slot open.
 const handshakeTimeout = 10 * time.Second
 
+// defaultHeartbeatTimeout is how long a worker may go silent before the
+// liveness reaper expels it. Workers heartbeat every 2s by default, so
+// the default tolerates four missed beats.
+const defaultHeartbeatTimeout = 10 * time.Second
+
 // CoordinatorConfig tunes a Coordinator. The zero value is usable.
 type CoordinatorConfig struct {
+	// HeartbeatTimeout is how long a worker may go without sending any
+	// frame (heartbeats included) before the liveness reaper expels it —
+	// the defence against workers that die without closing their
+	// connection (network partition, frozen host). 0 means the default
+	// (10s); negative disables liveness expulsion.
+	HeartbeatTimeout time.Duration
 	// Log receives registration and run-lifecycle lines. Nil discards.
 	Log *log.Logger
 }
 
-// workerConn is one registered worker: its parked connection plus the
-// latency bookkeeping /metrics reports per shard.
+// readResult is one routed frame (or the read error that ended the
+// connection) handed from a worker's reader goroutine to the run that
+// owns the worker.
+type readResult struct {
+	m   message
+	err error
+}
+
+// workerConn is one registered worker: its connection, the reader
+// goroutine's routing state, and the latency bookkeeping /metrics
+// reports per shard.
 type workerConn struct {
 	id   int
 	name string
@@ -46,6 +66,10 @@ type workerConn struct {
 	epochs     int64
 	epochTotal time.Duration
 	epochMax   time.Duration
+	lastSeen   time.Time       // last frame of any kind (liveness)
+	beats      int64           // heartbeat frames received
+	sink       chan readResult // non-nil while a run owns the worker
+	sinkDone   chan struct{}   // closed when the owning run unwinds
 }
 
 // Coordinator owns the distributed archipelago's ring: workers register
@@ -53,6 +77,15 @@ type workerConn struct {
 // epoch barrier and the ring exchange, and assembles the result. Create
 // with NewCoordinator, serve with Serve (or ListenAndServe), stop by
 // cancelling Serve's context.
+//
+// Every registered worker's connection is owned by a dedicated reader
+// goroutine: heartbeats update the liveness clock, run frames are routed
+// to the run that claimed the worker, and a read failure (the worker
+// died) surfaces immediately — to the owning run mid-run, or as an
+// instant expulsion while idle — instead of waiting for the next run to
+// block on the dead connection. A background reaper additionally expels
+// workers that go silent past HeartbeatTimeout, catching deaths that
+// never close the socket.
 //
 // Runs are serialized over the fleet: one distributed run owns every
 // worker at a time. The HTTP daemon's cache and single-flight sit in
@@ -71,10 +104,14 @@ type Coordinator struct {
 	runErrors  atomic.Int64
 	epochs     atomic.Int64
 	migrations atomic.Int64
+	beatExpels atomic.Int64
 }
 
 // NewCoordinator builds a Coordinator (zero-value config fine).
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = defaultHeartbeatTimeout
+	}
 	return &Coordinator{cfg: cfg, workers: make(map[int]*workerConn)}
 }
 
@@ -85,7 +122,8 @@ func (c *Coordinator) logf(format string, args ...any) {
 }
 
 // Serve accepts worker registrations on ln until ctx is cancelled, then
-// closes the listener and every registered worker connection.
+// closes the listener and every registered worker connection. It also
+// runs the liveness reaper (see CoordinatorConfig.HeartbeatTimeout).
 func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 	done := make(chan struct{})
 	defer close(done)
@@ -102,6 +140,9 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 		}
 		c.mu.Unlock()
 	}()
+	if c.cfg.HeartbeatTimeout > 0 {
+		go c.reapLoop(done)
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -124,10 +165,47 @@ func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
 	return c.Serve(ctx, ln)
 }
 
-// handshake runs the hello/welcome exchange and registers the worker.
-// The connection is then parked: no goroutine reads it until a run
-// claims the worker, so a worker that dies while idle is only discovered
-// (and expelled) by the next run.
+// reapLoop periodically expels workers that have gone silent past the
+// heartbeat timeout. Expelling closes the connection, so a run blocked on
+// the dead worker's barrier read unblocks and retries on the survivors.
+func (c *Coordinator) reapLoop(done <-chan struct{}) {
+	tick := c.cfg.HeartbeatTimeout / 4
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-t.C:
+			c.reap(now)
+		}
+	}
+}
+
+// reap expels every worker whose last frame is older than the heartbeat
+// timeout and reports how many went.
+func (c *Coordinator) reap(now time.Time) int {
+	c.mu.Lock()
+	var stale []*workerConn
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			stale = append(stale, w)
+		}
+	}
+	c.mu.Unlock()
+	for _, w := range stale {
+		c.beatExpels.Add(1)
+		c.logf("worker %d (%s) silent for over %s; expelling", w.id, w.name, c.cfg.HeartbeatTimeout)
+		c.expel(w)
+	}
+	return len(stale)
+}
+
+// handshake runs the hello/welcome exchange, registers the worker, and
+// starts its reader goroutine.
 func (c *Coordinator) handshake(conn net.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	var m message
@@ -138,7 +216,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	_ = conn.SetDeadline(time.Time{})
 	c.mu.Lock()
 	c.nextID++
-	w := &workerConn{id: c.nextID, name: m.Name, conn: conn}
+	w := &workerConn{id: c.nextID, name: m.Name, conn: conn, lastSeen: time.Now()}
 	if w.name == "" {
 		w.name = fmt.Sprintf("worker-%d", w.id)
 	}
@@ -150,16 +228,63 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		return
 	}
 	c.logf("worker %d (%s) registered from %s (%d in fleet)", w.id, w.name, conn.RemoteAddr(), n)
+	go c.readLoop(w)
 }
 
-// expel removes a worker from the fleet and closes its connection.
+// readLoop owns every read on a worker's connection. Heartbeats feed the
+// liveness clock; run frames are routed to the run that claimed the
+// worker (frames between runs — stragglers of an aborted run — are
+// discarded); a read error is handed to the owning run, if any, and the
+// worker is expelled. The loop exits exactly when the worker is no
+// longer usable, so a registered worker always has a live reader.
+func (c *Coordinator) readLoop(w *workerConn) {
+	for {
+		var m message
+		err := readFrame(w.conn, &m)
+		c.mu.Lock()
+		w.lastSeen = time.Now()
+		if err == nil && m.Type == msgHeartbeat {
+			w.beats++
+			c.mu.Unlock()
+			continue
+		}
+		sink, sinkDone := w.sink, w.sinkDone
+		c.mu.Unlock()
+		if err == nil {
+			if sink != nil {
+				select {
+				case sink <- readResult{m: m}:
+				case <-sinkDone: // the run unwound first; drop the frame
+				}
+			}
+			continue
+		}
+		// Broken connection (or a read poisoned by the cancellation
+		// watchdog): expel first so no new run can claim the worker, then
+		// hand the error to the run that was reading it.
+		c.expel(w)
+		if sink != nil {
+			select {
+			case sink <- readResult{err: err}:
+			case <-sinkDone:
+			}
+		}
+		return
+	}
+}
+
+// expel removes a worker from the fleet and closes its connection. Safe
+// to call more than once for the same worker.
 func (c *Coordinator) expel(w *workerConn) {
 	c.mu.Lock()
+	_, present := c.workers[w.id]
 	delete(c.workers, w.id)
 	n := len(c.workers)
 	c.mu.Unlock()
 	w.conn.Close()
-	c.logf("worker %d (%s) expelled (%d in fleet)", w.id, w.name, n)
+	if present {
+		c.logf("worker %d (%s) expelled (%d in fleet)", w.id, w.name, n)
+	}
 }
 
 // Workers returns the current fleet size.
@@ -246,13 +371,28 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 	}
 	parts := partition(k, len(ws))
 
+	// Claim the workers: each gets a fresh frame sink the reader routes
+	// into for the duration of the run. runDone releases any reader
+	// caught mid-route when the run unwinds.
+	runDone := make(chan struct{})
+	sinks := make([]chan readResult, len(ws))
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq
 	for i, w := range ws {
 		w.islands = len(parts[i])
+		sinks[i] = make(chan readResult, 4)
+		w.sink, w.sinkDone = sinks[i], runDone
 	}
 	c.mu.Unlock()
+	defer func() {
+		close(runDone)
+		c.mu.Lock()
+		for _, w := range ws {
+			w.sink, w.sinkDone = nil, nil
+		}
+		c.mu.Unlock()
+	}()
 
 	// ctx watchdog: poison every read so a cancelled request cannot hang
 	// the barrier; the deadline is cleared again when the run unwinds.
@@ -309,6 +449,21 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 		return err
 	}
 
+	// next reads the worker's next routed frame for this run, skipping
+	// stragglers of an aborted earlier run.
+	next := func(i int) (message, error) {
+		for {
+			r := <-sinks[i]
+			if r.err != nil {
+				return message{}, r.err
+			}
+			if r.m.Seq != seq {
+				continue
+			}
+			return r.m, nil
+		}
+	}
+
 	snap := g.Snapshot()
 	for i, w := range ws {
 		run := &message{Type: msgRun, Seq: seq, Graph: &snap, Params: &p, Islands: parts[i]}
@@ -327,33 +482,27 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 		errs := make([]error, len(ws))
 		durs := make([]time.Duration, len(ws))
 		var wg sync.WaitGroup
-		for i, w := range ws {
+		for i := range ws {
 			wg.Add(1)
-			go func(i int, w *workerConn) {
+			go func(i int) {
 				defer wg.Done()
 				start := time.Now()
-				for {
-					var m message
-					if err := readFrame(w.conn, &m); err != nil {
-						errs[i] = err
-						return
-					}
-					if m.Seq != seq {
-						continue // straggler from an aborted run
-					}
-					if m.Type == msgError {
-						errs[i] = fmt.Errorf("worker-side failure: %s", m.Error)
-						return
-					}
-					if m.Type != msgEpoch || m.Epoch != epoch {
-						errs[i] = fmt.Errorf("protocol: want epoch %d, got %s/%d", epoch, m.Type, m.Epoch)
-						return
-					}
-					frames[i] = m
-					durs[i] = time.Since(start)
+				m, err := next(i)
+				if err != nil {
+					errs[i] = err
 					return
 				}
-			}(i, w)
+				if m.Type == msgError {
+					errs[i] = fmt.Errorf("worker-side failure: %s", m.Error)
+					return
+				}
+				if m.Type != msgEpoch || m.Epoch != epoch {
+					errs[i] = fmt.Errorf("protocol: want epoch %d, got %s/%d", epoch, m.Type, m.Epoch)
+					return
+				}
+				frames[i] = m
+				durs[i] = time.Since(start)
+			}(i)
 		}
 		wg.Wait()
 		for i, err := range errs {
@@ -430,18 +579,12 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 	}
 	reports := make([]island.Report, 0, k)
 	for i, w := range ws {
-		var m message
-		for {
-			if err := readFrame(w.conn, &m); err != nil {
-				if ctx.Err() != nil {
-					return nil, abortCancelled()
-				}
-				return nil, abort(w, err)
+		m, err := next(i)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, abortCancelled()
 			}
-			if m.Seq != seq {
-				continue
-			}
-			break
+			return nil, abort(w, err)
 		}
 		if m.Type == msgError {
 			return nil, abort(w, fmt.Errorf("worker-side failure: %s", m.Error))
@@ -472,17 +615,27 @@ type WorkerMetrics struct {
 	Epochs      int64   `json:"epochs"`
 	MeanEpochMs float64 `json:"mean_epoch_ms"`
 	MaxEpochMs  float64 `json:"max_epoch_ms"`
+	// Heartbeats counts the liveness frames received from the worker;
+	// LastSeenAgeMs is how long ago the coordinator last heard anything
+	// from it (the liveness reaper expels workers past the timeout).
+	Heartbeats    int64   `json:"heartbeats"`
+	LastSeenAgeMs float64 `json:"last_seen_age_ms"`
 }
 
 // ClusterMetrics is the coordinator's observability snapshot, served by
 // the daemon's /metrics and /cluster endpoints.
 type ClusterMetrics struct {
-	Workers    int             `json:"workers"`
-	Runs       int64           `json:"runs"`
-	RunErrors  int64           `json:"run_errors"`
-	Epochs     int64           `json:"epochs"`
-	Migrations int64           `json:"migrations"`
-	PerWorker  []WorkerMetrics `json:"per_worker,omitempty"`
+	Workers    int   `json:"workers"`
+	Runs       int64 `json:"runs"`
+	RunErrors  int64 `json:"run_errors"`
+	Epochs     int64 `json:"epochs"`
+	Migrations int64 `json:"migrations"`
+	// HeartbeatExpels counts workers expelled by the liveness reaper for
+	// going silent past HeartbeatTimeoutMs (run-time failures expel
+	// through the run path and are not counted here).
+	HeartbeatExpels    int64           `json:"heartbeat_expels"`
+	HeartbeatTimeoutMs float64         `json:"heartbeat_timeout_ms"`
+	PerWorker          []WorkerMetrics `json:"per_worker,omitempty"`
 }
 
 // Metrics returns a point-in-time snapshot of the coordinator's counters.
@@ -490,12 +643,17 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := ClusterMetrics{
-		Workers:    len(c.workers),
-		Runs:       c.runs.Load(),
-		RunErrors:  c.runErrors.Load(),
-		Epochs:     c.epochs.Load(),
-		Migrations: c.migrations.Load(),
+		Workers:         len(c.workers),
+		Runs:            c.runs.Load(),
+		RunErrors:       c.runErrors.Load(),
+		Epochs:          c.epochs.Load(),
+		Migrations:      c.migrations.Load(),
+		HeartbeatExpels: c.beatExpels.Load(),
 	}
+	if c.cfg.HeartbeatTimeout > 0 {
+		m.HeartbeatTimeoutMs = float64(c.cfg.HeartbeatTimeout.Nanoseconds()) / 1e6
+	}
+	now := time.Now()
 	ids := make([]int, 0, len(c.workers))
 	for id := range c.workers {
 		ids = append(ids, id)
@@ -503,7 +661,11 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 	sort.Ints(ids)
 	for _, id := range ids {
 		w := c.workers[id]
-		wm := WorkerMetrics{ID: w.id, Name: w.name, Islands: w.islands, Epochs: w.epochs}
+		wm := WorkerMetrics{
+			ID: w.id, Name: w.name, Islands: w.islands, Epochs: w.epochs,
+			Heartbeats:    w.beats,
+			LastSeenAgeMs: float64(now.Sub(w.lastSeen).Nanoseconds()) / 1e6,
+		}
 		if w.epochs > 0 {
 			wm.MeanEpochMs = float64(w.epochTotal.Nanoseconds()) / float64(w.epochs) / 1e6
 			wm.MaxEpochMs = float64(w.epochMax.Nanoseconds()) / 1e6

@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"antlayer/internal/island"
+)
+
+// faultCluster starts a coordinator plus a mix of healthy and faulty
+// workers on loopback. Faulty workers run WITHOUT a reconnect loop, so a
+// fired Die* fault removes them from the fleet for good — the shape of a
+// crashed process.
+func faultCluster(t *testing.T, cfg CoordinatorConfig, healthy int, faults []*FaultPlan) (*Coordinator, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewCoordinator(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+	for i, f := range faults {
+		w := NewWorker(WorkerConfig{Name: fmt.Sprintf("faulty%d", i), Fault: f})
+		go func() { _ = w.Run(ctx, addr) }()
+		waitWorkers(t, c, i+1)
+	}
+	for i := 0; i < healthy; i++ {
+		w := NewWorker(WorkerConfig{Name: fmt.Sprintf("healthy%d", i)})
+		go func() {
+			for ctx.Err() == nil {
+				_ = w.Run(ctx, addr)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}()
+		waitWorkers(t, c, len(faults)+i+1)
+	}
+	return c, cancel
+}
+
+func faultParams() island.Params {
+	p := island.DefaultParams()
+	p.Islands = 4
+	p.Colony.Tours = 6
+	p.Colony.Seed = 31
+	p.MigrationInterval = 2
+	return p
+}
+
+// runExpectingRetry runs distributed, asserting the result stays
+// byte-identical to the in-process run and that exactly wantErrors failed
+// attempts (expel-and-retry rounds) were burned.
+func runExpectingRetry(t *testing.T, c *Coordinator, wantErrors int64) {
+	t.Helper()
+	g := testGraph(t, 50, 11)
+	p := faultParams()
+	want, err := island.Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunIsland(context.Background(), g, p)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if fingerprint(res) != fingerprint(want) {
+		t.Error("post-retry result diverged from the in-process run")
+	}
+	if m := c.Metrics(); m.RunErrors != wantErrors {
+		t.Errorf("run_errors = %d, want %d", m.RunErrors, wantErrors)
+	}
+}
+
+// TestWorkerDiesMidEpoch: a worker vanishes instead of answering the
+// epoch-2 barrier; the coordinator must expel it mid-run and the retry on
+// the survivor must stay byte-identical.
+func TestWorkerDiesMidEpoch(t *testing.T) {
+	c, cancel := faultCluster(t, CoordinatorConfig{}, 1, []*FaultPlan{{DieAtEpoch: 2}})
+	defer cancel()
+	runExpectingRetry(t, c, 1)
+}
+
+// TestWorkerDiesBetweenMigrateAndFinish: the worker consumes the migrate
+// frame of epoch 1 — the coordinator has committed the exchange — and
+// then dies before the next barrier. The run must be retried on the
+// survivor, byte-identically.
+func TestWorkerDiesBetweenMigrateAndFinish(t *testing.T) {
+	c, cancel := faultCluster(t, CoordinatorConfig{}, 1, []*FaultPlan{{DieAfterMigrate: 1}})
+	defer cancel()
+	runExpectingRetry(t, c, 1)
+}
+
+// TestTwoWorkersDieSameEpoch: two of three workers die at the same epoch
+// barrier. The coordinator expels them sequentially — one expel per
+// failed attempt — and the second retry, down to the lone survivor,
+// still produces the byte-identical result.
+func TestTwoWorkersDieSameEpoch(t *testing.T) {
+	c, cancel := faultCluster(t, CoordinatorConfig{}, 1,
+		[]*FaultPlan{{DieAtEpoch: 2}, {DieAtEpoch: 2}})
+	defer cancel()
+	// Attempt 1: both doomed workers die at epoch 2 → first failure
+	// aborts, expels one. Attempt 2: the other doomed worker dies again
+	// (its fault never fired — the abort happened first) or already died;
+	// either way at most two failed attempts precede the clean run.
+	g := testGraph(t, 50, 11)
+	p := faultParams()
+	want, err := island.Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunIsland(context.Background(), g, p)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if fingerprint(res) != fingerprint(want) {
+		t.Error("post-retry result diverged from the in-process run")
+	}
+	m := c.Metrics()
+	if m.RunErrors < 1 || m.RunErrors > 2 {
+		t.Errorf("run_errors = %d, want 1 or 2 (sequential expels)", m.RunErrors)
+	}
+	if m.Workers != 1 {
+		t.Errorf("fleet = %d after both deaths, want the lone survivor", m.Workers)
+	}
+}
+
+// TestSlowWorkerStillCorrect: an EpochDelay-injected slow worker drags
+// the barrier but never corrupts it; the per-shard epoch latency metrics
+// must show the drag.
+func TestSlowWorkerStillCorrect(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	c, cancel := faultCluster(t, CoordinatorConfig{}, 1, []*FaultPlan{{EpochDelay: delay}})
+	defer cancel()
+	g := testGraph(t, 50, 11)
+	p := faultParams()
+	want, err := island.Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunIsland(context.Background(), g, p)
+	if err != nil {
+		t.Fatalf("distributed run with slow worker: %v", err)
+	}
+	if fingerprint(res) != fingerprint(want) {
+		t.Error("slow-worker result diverged from the in-process run")
+	}
+	m := c.Metrics()
+	if m.RunErrors != 0 {
+		t.Errorf("run_errors = %d, want 0 (slow is not dead)", m.RunErrors)
+	}
+	var slowMax float64
+	for _, wm := range m.PerWorker {
+		if strings.HasPrefix(wm.Name, "faulty") {
+			slowMax = wm.MaxEpochMs
+		}
+	}
+	if slowMax < float64(delay.Milliseconds()) {
+		t.Errorf("slow shard max epoch = %.1fms, want >= %dms", slowMax, delay.Milliseconds())
+	}
+}
+
+// TestHeartbeatLiveness: workers heartbeat, the coordinator counts the
+// beats, and a worker that goes silent (heartbeats disabled, no frames)
+// is expelled by the reaper within the timeout — without any run
+// touching it.
+func TestHeartbeatLiveness(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := NewCoordinator(CoordinatorConfig{HeartbeatTimeout: 300 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+
+	// A chatty worker beating well inside the timeout...
+	chatty := NewWorker(WorkerConfig{Name: "chatty", HeartbeatInterval: 50 * time.Millisecond})
+	go func() { _ = chatty.Run(ctx, addr) }()
+	waitWorkers(t, c, 1)
+	// ...and a mute one that registers and then never speaks again.
+	mute := NewWorker(WorkerConfig{Name: "mute", HeartbeatInterval: -1})
+	go func() { _ = mute.Run(ctx, addr) }()
+	waitWorkers(t, c, 2)
+
+	// The reaper must expel the mute worker and keep the chatty one.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Workers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("mute worker never expelled (fleet %d)", c.Workers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m := c.Metrics()
+	if m.HeartbeatExpels != 1 {
+		t.Errorf("heartbeat_expels = %d, want 1", m.HeartbeatExpels)
+	}
+	if m.HeartbeatTimeoutMs != 300 {
+		t.Errorf("heartbeat_timeout_ms = %v, want 300", m.HeartbeatTimeoutMs)
+	}
+	if len(m.PerWorker) != 1 || m.PerWorker[0].Name != "chatty" {
+		t.Fatalf("surviving fleet = %+v, want just chatty", m.PerWorker)
+	}
+	if m.PerWorker[0].Heartbeats == 0 {
+		t.Error("chatty worker's heartbeats were not counted")
+	}
+
+	// The survivor still serves runs.
+	g := testGraph(t, 30, 5)
+	p := island.DefaultParams()
+	p.Colony.Tours = 3
+	if _, err := c.RunIsland(context.Background(), g, p); err != nil {
+		t.Fatalf("run on surviving fleet: %v", err)
+	}
+}
+
+// TestHeartbeatsFlowDuringLongEpochs: a worker stuck in a slow epoch
+// (EpochDelay beyond the liveness timeout) must NOT be expelled — the
+// background heartbeat distinguishes slow from dead.
+func TestHeartbeatsFlowDuringLongEpochs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := NewCoordinator(CoordinatorConfig{HeartbeatTimeout: 200 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c.Serve(ctx, ln) }()
+	w := NewWorker(WorkerConfig{
+		Name:              "slowpoke",
+		HeartbeatInterval: 40 * time.Millisecond,
+		Fault:             &FaultPlan{EpochDelay: 500 * time.Millisecond},
+	})
+	go func() { _ = w.Run(ctx, ln.Addr().String()) }()
+	waitWorkers(t, c, 1)
+
+	g := testGraph(t, 30, 5)
+	p := island.DefaultParams()
+	p.Islands = 2
+	p.Colony.Tours = 2
+	want, err := island.Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunIsland(context.Background(), g, p)
+	if err != nil {
+		t.Fatalf("slow epochs got the worker expelled: %v", err)
+	}
+	if fingerprint(res) != fingerprint(want) {
+		t.Error("result diverged")
+	}
+	if m := c.Metrics(); m.HeartbeatExpels != 0 {
+		t.Errorf("heartbeat_expels = %d, want 0 (slow is not dead)", m.HeartbeatExpels)
+	}
+}

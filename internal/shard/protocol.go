@@ -44,14 +44,15 @@ const maxFrame = 64 << 20
 
 // Frame types.
 const (
-	msgHello   = "hello"
-	msgWelcome = "welcome"
-	msgRun     = "run"
-	msgEpoch   = "epoch"
-	msgMigrate = "migrate"
-	msgFinish  = "finish"
-	msgReport  = "report"
-	msgError   = "error"
+	msgHello     = "hello"
+	msgWelcome   = "welcome"
+	msgRun       = "run"
+	msgEpoch     = "epoch"
+	msgMigrate   = "migrate"
+	msgFinish    = "finish"
+	msgReport    = "report"
+	msgError     = "error"
+	msgHeartbeat = "heartbeat"
 )
 
 // message is the one frame shape of the protocol; Type selects which

@@ -170,8 +170,9 @@ func TestRunIslandValidatesParams(t *testing.T) {
 }
 
 // TestWorkerFailureRetriesOnSurvivors kills one worker's connection
-// while the fleet is idle; the next run must expel it and still succeed
-// on the survivor, byte-identically.
+// while the fleet is idle; the reader goroutine must notice the death
+// immediately (no run required), expel the worker, and the next run must
+// succeed on the survivor, byte-identically and without a failed attempt.
 func TestWorkerFailureRetriesOnSurvivors(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -189,9 +190,9 @@ func TestWorkerFailureRetriesOnSurvivors(t *testing.T) {
 	go func() { _ = NewWorker(WorkerConfig{Name: "survivor"}).Run(ctx, addr) }()
 	waitWorkers(t, c, 2)
 	killWorker()
-	// The coordinator only notices at run time; give the close a moment
-	// to land so the run frame write (or first read) fails.
-	time.Sleep(50 * time.Millisecond)
+	// The reader goroutine sees the closed connection and expels the dead
+	// worker without waiting for a run to trip over it.
+	waitWorkers(t, c, 1)
 
 	g := testGraph(t, 40, 7)
 	p := island.DefaultParams()
@@ -210,8 +211,8 @@ func TestWorkerFailureRetriesOnSurvivors(t *testing.T) {
 	if c.Workers() != 1 {
 		t.Errorf("fleet size = %d after expulsion, want 1", c.Workers())
 	}
-	if m := c.Metrics(); m.RunErrors == 0 {
-		t.Error("run_errors did not count the failed attempt")
+	if m := c.Metrics(); m.RunErrors != 0 {
+		t.Errorf("run_errors = %d; the idle death should cost no run attempt", m.RunErrors)
 	}
 }
 

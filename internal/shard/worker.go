@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"antlayer/internal/dag"
@@ -16,11 +18,48 @@ import (
 // worker returns to idle without reporting.
 var errAborted = errors.New("shard: run aborted by coordinator")
 
+// defaultHeartbeatInterval is how often an idle or computing worker tells
+// the coordinator it is alive. A quarter of the coordinator's default
+// liveness timeout, plus margin.
+const defaultHeartbeatInterval = 2 * time.Second
+
+// FaultPlan is a test-only fault-injection hook: the chaos harness (and
+// the shard failure tests) use it to make a worker misbehave at an exact,
+// reproducible point in the epoch protocol. Production workers run with a
+// nil plan. The Die* faults fire at most once per Worker, so a worker
+// restarted by a reconnect loop rejoins healthy instead of dying forever.
+type FaultPlan struct {
+	// EpochDelay sleeps this long before answering each epoch barrier —
+	// a deterministic "slow worker" that drags every epoch of every run.
+	EpochDelay time.Duration
+	// DieAtEpoch, when positive, closes the coordinator connection
+	// instead of sending that epoch's frame: death mid-epoch, while the
+	// coordinator is blocked at the barrier.
+	DieAtEpoch int
+	// DieAfterMigrate, when positive, closes the connection right after
+	// consuming the migrate frame of that epoch: death between migrate
+	// and finish, after the coordinator committed the exchange.
+	DieAfterMigrate int
+}
+
 // WorkerConfig tunes a Worker. The zero value is usable.
 type WorkerConfig struct {
 	// Name identifies the worker in the coordinator's logs and metrics.
 	// Empty means the coordinator assigns "worker-<id>".
 	Name string
+	// HeartbeatInterval is how often the worker sends a liveness frame —
+	// also while computing an epoch, so a slow shard is distinguishable
+	// from a dead one. 0 means the default (2s); negative disables
+	// heartbeats (the coordinator's reaper will then expel the worker
+	// unless its timeout is disabled too).
+	HeartbeatInterval time.Duration
+	// OnRegister, when non-nil, is called after each successful
+	// registration with the coordinator-assigned worker id. The reconnect
+	// backoff in `daglayer worker` resets on it.
+	OnRegister func(id int)
+	// Fault injects test-only faults; nil (always, in production) means
+	// a healthy worker.
+	Fault *FaultPlan
 	// Log receives run-lifecycle lines. Nil discards.
 	Log *log.Logger
 }
@@ -31,10 +70,15 @@ type WorkerConfig struct {
 // a fresh island.Engine, so no state leaks between runs.
 type Worker struct {
 	cfg WorkerConfig
+	// faultFired latches the one-shot Die* faults (see FaultPlan).
+	faultFired atomic.Bool
 }
 
 // NewWorker builds a Worker (zero-value config fine).
 func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = defaultHeartbeatInterval
+	}
 	return &Worker{cfg: cfg}
 }
 
@@ -42,6 +86,20 @@ func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Log != nil {
 		w.cfg.Log.Printf(format, args...)
 	}
+}
+
+// lockedConn serialises frame writes on a worker connection between the
+// run exchange and the background heartbeat goroutine. Reads need no
+// lock: the Run loop is the only reader.
+type lockedConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (lc *lockedConn) write(m *message) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return writeFrame(lc.conn, m)
 }
 
 // Run dials the coordinator at addr, registers, and serves runs until
@@ -65,7 +123,8 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 		}
 	}()
 
-	if err := writeFrame(conn, &message{Type: msgHello, Name: w.cfg.Name}); err != nil {
+	lc := &lockedConn{conn: conn}
+	if err := lc.write(&message{Type: msgHello, Name: w.cfg.Name}); err != nil {
 		return err
 	}
 	var welcome message
@@ -76,6 +135,29 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 		return fmt.Errorf("shard: registration with %s failed (got %v, err %v)", addr, welcome.Type, err)
 	}
 	w.logf("registered with coordinator %s as worker %d", addr, welcome.WorkerID)
+	if w.cfg.OnRegister != nil {
+		w.cfg.OnRegister(welcome.WorkerID)
+	}
+
+	// Heartbeat: a liveness frame every interval, whatever the worker is
+	// doing — computing an epoch included. A write failure just stops the
+	// beat; the Run loop's read surfaces the broken connection.
+	if w.cfg.HeartbeatInterval > 0 {
+		go func() {
+			t := time.NewTicker(w.cfg.HeartbeatInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if err := lc.write(&message{Type: msgHeartbeat}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
 
 	for {
 		var m message
@@ -87,7 +169,7 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 		}
 		switch m.Type {
 		case msgRun:
-			if err := w.serveRun(ctx, conn, &m); err != nil {
+			if err := w.serveRun(ctx, lc, &m); err != nil {
 				if ctx.Err() != nil {
 					return nil
 				}
@@ -104,9 +186,9 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 // serveRun executes one assigned run. Worker-side failures are reported
 // to the coordinator in-band and leave the connection usable; only
 // transport failures propagate (and end the connection).
-func (w *Worker) serveRun(ctx context.Context, conn net.Conn, run *message) error {
+func (w *Worker) serveRun(ctx context.Context, lc *lockedConn, run *message) error {
 	start := time.Now()
-	reports, err := w.computeRun(ctx, conn, run)
+	reports, err := w.computeRun(ctx, lc, run)
 	if err != nil {
 		if errors.Is(err, errAborted) {
 			w.logf("run seq=%d aborted by coordinator", run.Seq)
@@ -117,9 +199,9 @@ func (w *Worker) serveRun(ctx context.Context, conn net.Conn, run *message) erro
 		}
 		// In-band failure: tell the coordinator and stay registered.
 		w.logf("run seq=%d failed: %v", run.Seq, err)
-		return writeFrame(conn, &message{Type: msgError, Seq: run.Seq, Error: err.Error()})
+		return lc.write(&message{Type: msgError, Seq: run.Seq, Error: err.Error()})
 	}
-	if err := writeFrame(conn, &message{Type: msgReport, Seq: run.Seq, Reports: reports}); err != nil {
+	if err := lc.write(&message{Type: msgReport, Seq: run.Seq, Reports: reports}); err != nil {
 		return err
 	}
 	w.logf("run seq=%d: %d islands reported in %s", run.Seq, len(reports), time.Since(start).Round(time.Millisecond))
@@ -129,7 +211,7 @@ func (w *Worker) serveRun(ctx context.Context, conn net.Conn, run *message) erro
 // computeRun builds the engine for the assigned slice and drives it
 // against the network migrator until the coordinator says the
 // archipelago is done.
-func (w *Worker) computeRun(ctx context.Context, conn net.Conn, run *message) ([]island.Report, error) {
+func (w *Worker) computeRun(ctx context.Context, lc *lockedConn, run *message) ([]island.Report, error) {
 	if run.Graph == nil || run.Params == nil {
 		return nil, fmt.Errorf("shard: run frame missing graph or params")
 	}
@@ -141,7 +223,7 @@ func (w *Worker) computeRun(ctx context.Context, conn net.Conn, run *message) ([
 	if err != nil {
 		return nil, err
 	}
-	m := &netMigrator{conn: conn, seq: run.Seq}
+	m := &netMigrator{worker: w, lc: lc, seq: run.Seq}
 	if _, err := island.Drive(ctx, e, m); err != nil {
 		return nil, err
 	}
@@ -151,20 +233,40 @@ func (w *Worker) computeRun(ctx context.Context, conn net.Conn, run *message) ([
 // netMigrator is the worker-side Migrator: the epoch barrier and the
 // elite exchange live on the far side of the coordinator connection.
 type netMigrator struct {
-	conn net.Conn
-	seq  uint64
+	worker *Worker
+	lc     *lockedConn
+	seq    uint64
+}
+
+// die executes a one-shot connection-killing fault: close the socket so
+// the coordinator sees the death exactly where the plan placed it.
+func (m *netMigrator) die(where string, epoch int) error {
+	m.lc.conn.Close()
+	return fmt.Errorf("shard: fault injection: dying %s (epoch %d)", where, epoch)
 }
 
 // Exchange sends the local elites and blocks until the coordinator's
 // barrier answers — with the incoming elites (migrate), the end of the
 // run (finish), or an abort (error).
 func (m *netMigrator) Exchange(ctx context.Context, epoch int, local []island.Elite) ([]island.Elite, bool, error) {
-	if err := writeFrame(m.conn, &message{Type: msgEpoch, Seq: m.seq, Epoch: epoch, Elites: local}); err != nil {
+	if f := m.worker.cfg.Fault; f != nil {
+		if f.EpochDelay > 0 {
+			select {
+			case <-time.After(f.EpochDelay):
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		if f.DieAtEpoch == epoch && m.worker.faultFired.CompareAndSwap(false, true) {
+			return nil, false, m.die("mid-epoch", epoch)
+		}
+	}
+	if err := m.lc.write(&message{Type: msgEpoch, Seq: m.seq, Epoch: epoch, Elites: local}); err != nil {
 		return nil, false, err
 	}
 	for {
 		var reply message
-		if err := readFrame(m.conn, &reply); err != nil {
+		if err := readFrame(m.lc.conn, &reply); err != nil {
 			if ctx.Err() != nil {
 				return nil, false, fmt.Errorf("shard: exchange aborted: %w", ctx.Err())
 			}
@@ -175,6 +277,9 @@ func (m *netMigrator) Exchange(ctx context.Context, epoch int, local []island.El
 		}
 		switch reply.Type {
 		case msgMigrate:
+			if f := m.worker.cfg.Fault; f != nil && f.DieAfterMigrate == epoch && m.worker.faultFired.CompareAndSwap(false, true) {
+				return nil, false, m.die("after migrate", epoch)
+			}
 			return reply.Elites, true, nil
 		case msgFinish:
 			return nil, false, nil
