@@ -92,6 +92,231 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestClusterConcurrentRuns is the scheduler's multi-process acceptance
+// test: on a 4-worker fleet whose epochs are slowed enough that runs
+// demonstrably overlap, two K=2 distributed requests must (a) finish as
+// a pair in well under 1.5x one run's wall-clock — i.e. actually run
+// concurrently on disjoint leases — and (b) each answer byte-identically
+// to the same daemon's in-process answer. A third run then has a leased
+// worker SIGKILLed mid-flight and must still come back byte-identical.
+func TestClusterConcurrentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	bin := buildDaglayer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// -max-concurrent is load-bearing: on a single-CPU machine the
+	// GOMAXPROCS default is 1 and the HTTP compute semaphore would
+	// serialize the pair before the scheduler ever saw the second run.
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-addr", "127.0.0.1:0", "-coordinator", "127.0.0.1:0",
+		"-cache", "-1", "-max-concurrent", "8", "-heartbeat-timeout", "1s")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cancel()
+		_ = serve.Wait()
+	}()
+	httpAddr, coordAddr := scanServeAddrs(t, stdout)
+	baseURL := "http://" + httpAddr
+
+	workers := make(map[string]*exec.Cmd, 4)
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("cw%d", i)
+		w := exec.CommandContext(ctx, bin, "worker", "-coordinator", coordAddr,
+			"-name", name, "-fault-epoch-delay", "60ms", "-heartbeat", "250ms", "-quiet")
+		w.Stdout = io.Discard
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[name] = w
+		go func() { _ = w.Wait() }()
+	}
+	waitFleet(t, baseURL, 4)
+
+	query := func(seed int) string {
+		return fmt.Sprintf("algo=island&islands=2&tours=3&migration-interval=1&seed=%d", seed)
+	}
+	// In-process references from the same daemon (cache disabled, so the
+	// distributed twins below really compute).
+	want41 := postLayerHTTP(t, baseURL, query(41), demoDOT)
+	want42 := postLayerHTTP(t, baseURL, query(42), demoDOT)
+	want43 := postLayerHTTP(t, baseURL, query(43), demoDOT)
+
+	// Warm the distributed path, then time one run solo.
+	postLayerHTTP(t, baseURL, query(40)+"&distributed=true", demoDOT)
+	start := time.Now()
+	got41 := postLayerHTTP(t, baseURL, query(41)+"&distributed=true", demoDOT)
+	single := time.Since(start)
+	if !bytes.Equal(got41, want41) {
+		t.Errorf("solo distributed body diverges from in-process:\n%s\n%s", got41, want41)
+	}
+
+	// The pair: both K=2, both in flight at once on the 4-worker fleet.
+	type answer struct {
+		i    int
+		body []byte
+		err  error
+	}
+	results := make(chan answer, 2)
+	post := func(i int, q string) {
+		resp, err := http.Post(baseURL+"/layer?"+q, "text/plain", strings.NewReader(demoDOT))
+		if err != nil {
+			results <- answer{i, nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		results <- answer{i, body, err}
+	}
+	wantPair := [][]byte{want41, want42}
+	start = time.Now()
+	go post(0, query(41)+"&distributed=true")
+	go post(1, query(42)+"&distributed=true")
+	for i := 0; i < 2; i++ {
+		a := <-results
+		if a.err != nil {
+			t.Fatalf("concurrent distributed request %d: %v", a.i, a.err)
+		}
+		if !bytes.Equal(a.body, wantPair[a.i]) {
+			t.Errorf("concurrent distributed body %d diverges from in-process:\n%s\n%s", a.i, a.body, wantPair[a.i])
+		}
+	}
+	pair := time.Since(start)
+	if pair >= single*3/2 {
+		t.Errorf("pair wall-clock %v vs single %v: want < 1.5x (the runs serialized)", pair, single)
+	}
+	var cluster struct {
+		PeakConcurrentRuns int64 `json:"peak_concurrent_runs"`
+		PerWorker          []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"per_worker"`
+	}
+	getJSON(t, baseURL+"/cluster", &cluster)
+	if cluster.PeakConcurrentRuns < 2 {
+		t.Errorf("peak_concurrent_runs = %d, want >= 2", cluster.PeakConcurrentRuns)
+	}
+
+	// Mid-run worker kill: start a third run, SIGKILL a worker while it
+	// holds the lease, and the retried (or re-queued) run must still be
+	// byte-identical.
+	third := make(chan answer, 1)
+	go func() {
+		resp, err := http.Post(baseURL+"/layer?"+query(43)+"&distributed=true", "text/plain", strings.NewReader(demoDOT))
+		if err != nil {
+			third <- answer{2, nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		third <- answer{2, body, err}
+	}()
+	killed := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !killed && time.Now().Before(deadline) {
+		getJSON(t, baseURL+"/cluster", &cluster)
+		for _, w := range cluster.PerWorker {
+			if w.State == "leased" {
+				if cmd, ok := workers[w.Name]; ok {
+					_ = cmd.Process.Kill()
+					delete(workers, w.Name)
+					killed = true
+				}
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !killed {
+		t.Fatal("never caught a leased worker to kill — the run finished too fast")
+	}
+	a := <-third
+	if a.err != nil {
+		t.Fatalf("distributed run after worker kill: %v", a.err)
+	}
+	if !bytes.Equal(a.body, want43) {
+		t.Errorf("post-kill distributed body diverges from in-process:\n%s\n%s", a.body, want43)
+	}
+}
+
+// TestClusterSecretEndToEnd pins the -cluster-secret flags across real
+// processes: a worker presenting the right secret joins the fleet, one
+// with the wrong secret is rejected at registration (a clean close — it
+// exits on its first attempt with -retry 0, no expel needed).
+func TestClusterSecretEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	bin := buildDaglayer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-addr", "127.0.0.1:0", "-coordinator", "127.0.0.1:0", "-cluster-secret", "open-sesame")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cancel()
+		_ = serve.Wait()
+	}()
+	httpAddr, coordAddr := scanServeAddrs(t, stdout)
+	baseURL := "http://" + httpAddr
+
+	intruder := exec.CommandContext(ctx, bin, "worker", "-coordinator", coordAddr,
+		"-name", "intruder", "-cluster-secret", "wrong", "-retry", "0")
+	intruder.Stdout = io.Discard
+	intruder.Stderr = io.Discard
+	if err := intruder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := intruder.Wait(); err == nil {
+		t.Error("worker with the wrong secret exited clean, want a rejection error")
+	}
+
+	member := exec.CommandContext(ctx, bin, "worker", "-coordinator", coordAddr,
+		"-name", "member", "-cluster-secret", "open-sesame")
+	member.Stdout = io.Discard
+	member.Stderr = os.Stderr
+	if err := member.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = member.Wait() }()
+	waitFleet(t, baseURL, 1)
+
+	var cluster struct {
+		Workers   int `json:"workers"`
+		PerWorker []struct {
+			Name string `json:"name"`
+		} `json:"per_worker"`
+	}
+	getJSON(t, baseURL+"/cluster", &cluster)
+	if cluster.Workers != 1 || len(cluster.PerWorker) != 1 || cluster.PerWorker[0].Name != "member" {
+		t.Errorf("fleet after rejected intruder: %+v", cluster)
+	}
+}
+
 // buildDaglayer compiles the daglayer binary once per test binary.
 var (
 	buildOnce sync.Once

@@ -32,6 +32,9 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		jobExpiry   = fs.Duration("job-expiry", 0, "additionally evict finished jobs older than this (0 = count bound only)")
 		coordinator = fs.String("coordinator", "", "also run a shard coordinator on this address (e.g. :8650); workers join with 'daglayer worker'")
 		hbTimeout   = fs.Duration("heartbeat-timeout", 0, "expel workers silent longer than this (0 = library default, negative disables)")
+		runQueue    = fs.Int("run-queue", 0, "distributed-run admission queue bound; runs beyond it answer 429 (0 = default 16, negative = dispatch-or-reject)")
+		maxRuns     = fs.Int("max-runs", 0, "cap on concurrently dispatched distributed runs (0 = worker availability is the only bound)")
+		secret      = fs.String("cluster-secret", "", "shared secret workers must present to register (empty = open cluster)")
 		faultDelay  = fs.Duration("fault-compute-delay", 0, "TESTING ONLY: add this delay to every computation, simulating a slow backend for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-request logging")
 	)
@@ -56,7 +59,11 @@ Runs the layering HTTP daemon:
 With -coordinator the daemon also owns a distributed archipelago: worker
 processes ('daglayer worker -coordinator host:port') register on that
 address and island runs with distributed=true shard across them,
-byte-identical to in-process runs (README "Cluster").
+byte-identical to in-process runs (README "Cluster"). Distinct runs
+lease disjoint worker subsets and proceed concurrently; -run-queue
+bounds the admission backlog (beyond it /layer answers 429 with a
+stats-derived Retry-After), -max-runs caps the overlap, and
+-cluster-secret gates worker registration.
 
 flags:
 `)
@@ -87,7 +94,13 @@ flags:
 		// The coordinator listens on its own port with its own accept
 		// loop; the daemon only uses it for distributed compute and
 		// metrics. Both shut down with ctx.
-		coord := shard.NewCoordinator(shard.CoordinatorConfig{Log: cfg.Log, HeartbeatTimeout: *hbTimeout})
+		coord := shard.NewCoordinator(shard.CoordinatorConfig{
+			Log:               cfg.Log,
+			HeartbeatTimeout:  *hbTimeout,
+			QueueDepth:        *runQueue,
+			MaxConcurrentRuns: *maxRuns,
+			Secret:            *secret,
+		})
 		ln, err := net.Listen("tcp", *coordinator)
 		if err != nil {
 			return fmt.Errorf("coordinator: %w", err)

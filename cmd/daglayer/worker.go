@@ -99,6 +99,7 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 		retry       = fs.Duration("retry", 2*time.Second, "base backoff between reconnect attempts (doubles per failure); 0 exits on the first connection error")
 		retryMax    = fs.Duration("retry-max", 30*time.Second, "cap on the reconnect backoff")
 		heartbeat   = fs.Duration("heartbeat", 0, "liveness heartbeat interval (0 = library default, negative disables)")
+		secret      = fs.String("cluster-secret", "", "shared secret to present at registration (must match the coordinator's -cluster-secret)")
 		faultDelay  = fs.Duration("fault-epoch-delay", 0, "TESTING ONLY: sleep this long every epoch, simulating a slow worker for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-run logging")
 	)
@@ -132,6 +133,7 @@ flags:
 	}
 	wcfg := shard.WorkerConfig{
 		Name:              *name,
+		Secret:            *secret,
 		Log:               logger,
 		HeartbeatInterval: *heartbeat,
 		// A successful registration resets the backoff: the next outage

@@ -38,7 +38,7 @@ func TestListScenarios(t *testing.T) {
 	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"worker-kill", "slow-worker", "coordinator-restart", "queue-full", "oversize-flood"} {
+	for _, name := range []string{"worker-kill", "slow-worker", "coordinator-restart", "queue-full", "oversize-flood", "concurrent-runs"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list missing %q:\n%s", name, out.String())
 		}

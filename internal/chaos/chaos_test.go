@@ -137,7 +137,7 @@ func TestScenarioRegistryValid(t *testing.T) {
 	if fast == 0 {
 		t.Error("no fast scenarios: the CI gate would run nothing")
 	}
-	for _, name := range []string{"worker-kill", "slow-worker", "coordinator-restart", "queue-full", "oversize-flood"} {
+	for _, name := range []string{"worker-kill", "slow-worker", "coordinator-restart", "queue-full", "oversize-flood", "concurrent-runs"} {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("scenario %q missing from the registry", name)
 		}

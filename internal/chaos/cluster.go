@@ -246,7 +246,10 @@ type metricsCounters struct {
 		Running int64 `json:"running"`
 	} `json:"jobs"`
 	Cluster *struct {
-		Workers int `json:"workers"`
+		Workers            int   `json:"workers"`
+		PeakConcurrentRuns int64 `json:"peak_concurrent_runs"`
+		RunsQueued         int64 `json:"runs_queued"`
+		RunsRejected       int64 `json:"runs_rejected"`
 	} `json:"cluster"`
 }
 

@@ -114,6 +114,43 @@ func TestQueueFullScenarioEndToEnd(t *testing.T) {
 	}
 }
 
+// TestConcurrentRunsScenarioEndToEnd runs the scheduler-overlap scenario
+// through the full 3-phase runner with real processes: mixed-K
+// distributed traffic on a 4-worker fleet, one worker killed mid-phase.
+// The scenario's own Verify hook asserts the overlap (scraped
+// peak_concurrent_runs >= 2) and the probe asserts byte-identity, so a
+// passing report IS the acceptance check.
+func TestConcurrentRunsScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos e2e skipped in -short mode")
+	}
+	sc, ok := Lookup("concurrent-runs")
+	if !ok {
+		t.Fatal("concurrent-runs missing from the registry")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	report, err := Run(ctx, sc, RunOptions{
+		Bin:        buildDaglayer(t),
+		Log:        log.New(testWriter{t}, "chaos: ", 0),
+		ProcessLog: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		t.Errorf("concurrent-runs failed: %v", report.Failures)
+	}
+	if report.ProbeIdentical == nil || !*report.ProbeIdentical {
+		t.Error("post-recovery distributed answer not byte-identical to the fault-free reference")
+	}
+	for _, ph := range report.Phases {
+		if ph.Classes["ok"] == 0 {
+			t.Errorf("phase %s served nothing: %v", ph.Name, ph.Classes)
+		}
+	}
+}
+
 // testWriter adapts t.Logf so the chaos narration lands in test output.
 type testWriter struct{ t *testing.T }
 

@@ -209,7 +209,11 @@ func (g *Generator) one(ctx context.Context, rng *rand.Rand, mix Mix, s *SampleS
 	case "cold":
 		class = g.postLayer(ctx, fmt.Sprintf("algo=aco&tours=2&seed=%d", 1000+g.coldSeq.Add(1)), loadDOT)
 	case "dist":
-		class = g.postLayer(ctx, fmt.Sprintf("algo=island&islands=4&tours=2&migration-interval=1&distributed=true&seed=%d", 1000+g.coldSeq.Add(1)), loadDOT)
+		// Mixed K: islands 2..4, so on a 4-worker fleet some runs lease a
+		// strict subset and the scheduler can overlap them. The draw comes
+		// from the worker's deterministic rng, so a scenario replays the
+		// same K sequence per worker.
+		class = g.postLayer(ctx, fmt.Sprintf("algo=island&islands=%d&tours=2&migration-interval=1&distributed=true&seed=%d", 2+rng.Intn(3), 1000+g.coldSeq.Add(1)), loadDOT)
 	case "jobs":
 		class = g.oneJob(ctx, rng)
 	case "over":

@@ -198,6 +198,14 @@ func Run(ctx context.Context, sc Scenario, opt RunOptions) (*Report, error) {
 		report.Phases = append(report.Phases, pr)
 	}
 
+	// Whole-run assertions against the still-running cluster — e.g. the
+	// concurrent-runs scenario reading the peak overlap gauge.
+	if sc.Verify != nil {
+		if err := sc.Verify(ctx, cluster); err != nil {
+			report.Failures = append(report.Failures, fmt.Sprintf("verify: %v", err))
+		}
+	}
+
 	// The byte-identical probe: after the dust settles, the same request
 	// answered by the recovered fleet must match the fault-free bytes.
 	if sc.Probe {

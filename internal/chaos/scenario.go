@@ -55,7 +55,13 @@ type Scenario struct {
 	// Inject applies the fault; Recover undoes it (either may be nil).
 	Inject  func(ctx context.Context, c *Cluster) error
 	Recover func(ctx context.Context, c *Cluster) error
-	Phases  []Phase
+	// Verify runs after the three phases (before the byte-identical
+	// probe) against the still-running cluster; a returned error is a
+	// scenario failure. Scenarios use it for whole-run assertions that no
+	// single phase SLO can express — e.g. "the scheduler actually
+	// overlapped runs", read from the scraped peak gauge.
+	Verify func(ctx context.Context, c *Cluster) error
+	Phases []Phase
 }
 
 // fastWorkerArgs makes chaos-scale timing: quick redials and chatty
@@ -65,7 +71,7 @@ var fastWorkerArgs = []string{"-retry", "100ms", "-retry-max", "1s", "-heartbeat
 
 // Scenarios returns the registry, in a stable order.
 func Scenarios() []Scenario {
-	return []Scenario{workerKill(), slowWorker(), coordinatorRestart(), queueFull(), oversizeFlood()}
+	return []Scenario{workerKill(), slowWorker(), coordinatorRestart(), queueFull(), oversizeFlood(), concurrentRuns()}
 }
 
 // Lookup finds a scenario by name.
@@ -233,6 +239,62 @@ func oversizeFlood() Scenario {
 			{Name: "warmup", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
 			{Name: "inject", Duration: 3 * time.Second, RPS: 40, Mix: &Mix{Hot: 2, Cold: 1, Oversize: 3}, Expected: []string{"413"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 40}},
 			{Name: "recovery", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 5}},
+		},
+	}
+}
+
+// concurrentRuns: the cluster scheduler under mixed-K distributed
+// traffic on a 4-worker fleet. Runs with islands < fleet lease a strict
+// subset of the workers, so the scheduler must overlap them — the
+// Verify hook reads the scraped peak_concurrent_runs gauge and fails
+// the scenario if everything serialized. Mid-phase one leased worker is
+// SIGKILLed: the affected run retries within its lease (or re-queues),
+// and the probe pins that every answer stays byte-identical through it.
+func concurrentRuns() Scenario {
+	return Scenario{
+		Name:        "concurrent-runs",
+		Description: "mixed-K distributed traffic on 4 workers; the scheduler overlaps runs on disjoint leases and a mid-phase worker kill costs latency, not answers",
+		Fast:        true,
+		Seed:        66,
+		Workers:     4,
+		// -max-concurrent 8 is load-bearing: on a single-CPU CI machine
+		// the GOMAXPROCS default is 1 and the HTTP compute semaphore
+		// would serialize requests before the scheduler ever saw a second
+		// run — no overlap could be observed no matter how the scheduler
+		// behaves.
+		ServeArgs: []string{"-cache", "-1", "-heartbeat-timeout", "1s", "-max-concurrent", "8"},
+		// The epoch delay keeps each distributed run in flight for
+		// ~50ms; at 40 rps the arrival interval is 25ms, so overlapping
+		// K=2 runs are the norm, not a lucky race.
+		WorkerArgs: append([]string{"-fault-epoch-delay", "25ms"}, fastWorkerArgs...),
+		RPS:        40,
+		Mix:        Mix{Cold: 1, Distributed: 4},
+		Probe:      true,
+		Inject: func(ctx context.Context, c *Cluster) error {
+			return c.KillWorker("w3")
+		},
+		Recover: func(ctx context.Context, c *Cluster) error {
+			return c.StartWorker(ctx, "w3b")
+		},
+		Verify: func(ctx context.Context, c *Cluster) error {
+			m, err := c.Metrics()
+			if err != nil {
+				return fmt.Errorf("scrape /metrics: %w", err)
+			}
+			if m.Cluster == nil {
+				return fmt.Errorf("/metrics has no cluster block")
+			}
+			if m.Cluster.PeakConcurrentRuns < 2 {
+				return fmt.Errorf("peak_concurrent_runs=%d, want >= 2 — the scheduler serialized every run", m.Cluster.PeakConcurrentRuns)
+			}
+			return nil
+		},
+		Phases: []Phase{
+			// A saturated admission queue answering 429 (with Retry-After)
+			// is back-pressure working as designed, not a failure class.
+			{Name: "warmup", Duration: 2 * time.Second, Expected: []string{"429"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
+			{Name: "inject", Duration: 3 * time.Second, Expected: []string{"429"}, SLO: SLO{MaxP99Ms: 9000, MaxErrorRate: 0.02, MinRequests: 10}},
+			{Name: "recovery", Duration: 3 * time.Second, Expected: []string{"429"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 10}},
 		},
 	}
 }

@@ -16,10 +16,16 @@ import (
 // testCluster starts a coordinator plus n in-process workers on loopback
 // and tears them down with the test.
 func testCluster(t *testing.T, n int) *shard.Coordinator {
+	return testClusterCfg(t, n, shard.CoordinatorConfig{}, nil)
+}
+
+// testClusterCfg is testCluster with explicit coordinator and per-worker
+// fault configuration (fault nil = healthy workers).
+func testClusterCfg(t *testing.T, n int, cfg shard.CoordinatorConfig, fault *shard.FaultPlan) *shard.Coordinator {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	coord := shard.NewCoordinator(shard.CoordinatorConfig{})
+	coord := shard.NewCoordinator(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +33,7 @@ func testCluster(t *testing.T, n int) *shard.Coordinator {
 	go func() { _ = coord.Serve(ctx, ln) }()
 	addr := ln.Addr().String()
 	for i := 0; i < n; i++ {
-		w := shard.NewWorker(shard.WorkerConfig{Name: fmt.Sprintf("tw%d", i)})
+		w := shard.NewWorker(shard.WorkerConfig{Name: fmt.Sprintf("tw%d", i), Fault: fault})
 		go func() { _ = w.Run(ctx, addr) }()
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -169,6 +175,93 @@ func TestClusterEndpoint(t *testing.T) {
 	}
 	if m.Workers != 2 {
 		t.Errorf("cluster reports %d workers, want 2", m.Workers)
+	}
+}
+
+// TestLayerDistributedConcurrentByteIdentical is the tentpole at the
+// HTTP layer: two different K=2 distributed requests on a 4-worker fleet
+// run at the same time (the fault delay keeps each run in flight long
+// enough that the scheduler must overlap them), and each body is
+// byte-identical to its in-process twin.
+func TestLayerDistributedConcurrentByteIdentical(t *testing.T) {
+	queries := []string{
+		"algo=island&islands=2&tours=3&migration-interval=1&seed=41",
+		"algo=island&islands=2&tours=3&migration-interval=1&seed=42",
+	}
+	_, plainTS := newTestServer(t, Config{CacheSize: -1})
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		_, want[i] = postLayer(t, plainTS, q, demoDOT)
+	}
+
+	coord := testClusterCfg(t, 4, shard.CoordinatorConfig{}, &shard.FaultPlan{EpochDelay: 15 * time.Millisecond})
+	// MaxConcurrent must exceed 1 explicitly: on a single-CPU machine the
+	// GOMAXPROCS default would serialize the requests at the compute
+	// semaphore before the scheduler ever sees the second run.
+	_, ts := newTestServer(t, Config{CacheSize: -1, MaxConcurrent: 4, Coordinator: coord})
+	type result struct {
+		i    int
+		code int
+		body []byte
+	}
+	results := make(chan result, len(queries))
+	for i, q := range queries {
+		go func(i int, q string) {
+			resp, body := postLayer(t, ts, q+"&distributed=true", demoDOT)
+			results <- result{i, resp.StatusCode, body}
+		}(i, q)
+	}
+	for range queries {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", r.i, r.code, r.body)
+		}
+		if !bytes.Equal(r.body, want[r.i]) {
+			t.Errorf("request %d: concurrent distributed body diverges from in-process", r.i)
+		}
+	}
+	cm := coord.Metrics()
+	if cm.Runs != 2 || cm.RunErrors != 0 {
+		t.Errorf("cluster runs=%d errors=%d, want 2/0", cm.Runs, cm.RunErrors)
+	}
+	if cm.PeakConcurrentRuns < 2 {
+		t.Errorf("peak_concurrent_runs=%d, want >= 2 (the runs serialized)", cm.PeakConcurrentRuns)
+	}
+}
+
+// TestLayerRunQueueFull429: when the scheduler cannot admit a
+// distributed run, /layer answers 429 with a stats-derived Retry-After —
+// it must not silently fall back in-process (the cluster being saturated
+// is not the same as the cluster being absent).
+func TestLayerRunQueueFull429(t *testing.T) {
+	coord := testClusterCfg(t, 1,
+		shard.CoordinatorConfig{MaxConcurrentRuns: 1, QueueDepth: -1},
+		&shard.FaultPlan{EpochDelay: 50 * time.Millisecond})
+	_, ts := newTestServer(t, Config{CacheSize: -1, MaxConcurrent: 4, Coordinator: coord})
+
+	first := make(chan []byte, 1)
+	go func() {
+		_, body := postLayer(t, ts, "algo=island&islands=1&tours=4&migration-interval=1&seed=51&distributed=true", demoDOT)
+		first <- body
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Metrics().RunsInFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first distributed run never dispatched")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, body := postLayer(t, ts, "algo=island&islands=1&tours=4&migration-interval=1&seed=52&distributed=true", demoDOT)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated scheduler answered %d, want 429: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	<-first
+	if cm := coord.Metrics(); cm.RunsRejected != 1 {
+		t.Errorf("runs_rejected=%d, want 1", cm.RunsRejected)
 	}
 }
 

@@ -52,8 +52,19 @@ const metricsGolden = `{
   },
   "cluster": {
     "workers": 2,
+    "idle_workers": 1,
     "runs": 7,
     "run_errors": 1,
+    "runs_in_flight": 1,
+    "peak_concurrent_runs": 2,
+    "runs_queued": 1,
+    "run_queue_bound": 16,
+    "runs_rejected": 2,
+    "dispatch_ms": {
+      "count": 7,
+      "p50_ms": 0.5,
+      "p99_ms": 4.25
+    },
     "epochs": 21,
     "migrations": 14,
     "heartbeat_expels": 1,
@@ -62,6 +73,8 @@ const metricsGolden = `{
       {
         "id": 1,
         "name": "w1",
+        "state": "leased",
+        "run": 5,
         "islands": 2,
         "epochs": 21,
         "mean_epoch_ms": 3.25,
@@ -99,10 +112,14 @@ func TestMetricsSnapshotGoldenShape(t *testing.T) {
 			Done: 25, Failed: 2, Canceled: 1, Expired: 3, Depth: 64, Workers: 8,
 		},
 		Cluster: &shard.ClusterMetrics{
-			Workers: 2, Runs: 7, RunErrors: 1, Epochs: 21, Migrations: 14,
+			Workers: 2, IdleWorkers: 1, Runs: 7, RunErrors: 1,
+			RunsInFlight: 1, PeakConcurrentRuns: 2, RunsQueued: 1,
+			RunQueueBound: 16, RunsRejected: 2,
+			DispatchMs: shard.DispatchMetrics{Count: 7, P50Ms: 0.5, P99Ms: 4.25},
+			Epochs:     21, Migrations: 14,
 			HeartbeatExpels: 1, HeartbeatTimeoutMs: 10000,
 			PerWorker: []shard.WorkerMetrics{{
-				ID: 1, Name: "w1", Islands: 2, Epochs: 21,
+				ID: 1, Name: "w1", State: "leased", Run: 5, Islands: 2, Epochs: 21,
 				MeanEpochMs: 3.25, MaxEpochMs: 11.5,
 				Heartbeats: 42, LastSeenAgeMs: 120.5,
 			}},
@@ -165,8 +182,19 @@ func TestLiveMetricsServeGoldenKeys(t *testing.T) {
 
 const clusterGolden = `{
   "workers": 1,
+  "idle_workers": 1,
   "runs": 3,
   "run_errors": 0,
+  "runs_in_flight": 0,
+  "peak_concurrent_runs": 1,
+  "runs_queued": 0,
+  "run_queue_bound": 16,
+  "runs_rejected": 0,
+  "dispatch_ms": {
+    "count": 3,
+    "p50_ms": 0.25,
+    "p99_ms": 1.5
+  },
   "epochs": 9,
   "migrations": 6,
   "heartbeat_expels": 0,
@@ -175,6 +203,7 @@ const clusterGolden = `{
     {
       "id": 2,
       "name": "solo",
+      "state": "idle",
       "islands": 4,
       "epochs": 9,
       "mean_epoch_ms": 0.5,
@@ -186,13 +215,18 @@ const clusterGolden = `{
 }`
 
 // TestClusterMetricsGoldenShape pins the /cluster document — the same
-// struct the /metrics "cluster" block embeds.
+// struct the /metrics "cluster" block embeds. The idle worker's "run"
+// field is absent (omitempty): lease attribution only renders while a
+// run holds the worker.
 func TestClusterMetricsGoldenShape(t *testing.T) {
 	cm := shard.ClusterMetrics{
-		Workers: 1, Runs: 3, RunErrors: 0, Epochs: 9, Migrations: 6,
+		Workers: 1, IdleWorkers: 1, Runs: 3, RunErrors: 0,
+		PeakConcurrentRuns: 1, RunQueueBound: 16,
+		DispatchMs: shard.DispatchMetrics{Count: 3, P50Ms: 0.25, P99Ms: 1.5},
+		Epochs:     9, Migrations: 6,
 		HeartbeatExpels: 0, HeartbeatTimeoutMs: 10000,
 		PerWorker: []shard.WorkerMetrics{{
-			ID: 2, Name: "solo", Islands: 4, Epochs: 9,
+			ID: 2, Name: "solo", State: "idle", Islands: 4, Epochs: 9,
 			MeanEpochMs: 0.5, MaxEpochMs: 2, Heartbeats: 9, LastSeenAgeMs: 33,
 		}},
 	}

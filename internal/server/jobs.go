@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"antlayer/internal/batch"
+	"antlayer/internal/shard"
 )
 
 // The async job API. POST /jobs accepts exactly what POST /layer accepts
@@ -206,6 +207,8 @@ func jobFailureReason(snap batch.Snapshot) string {
 		return fmt.Sprintf("deadline exceeded (504): %v", snap.Err)
 	case errors.Is(snap.Err, context.Canceled):
 		return fmt.Sprintf("server shutting down (503): %v", snap.Err)
+	case errors.Is(snap.Err, shard.ErrRunQueueFull):
+		return fmt.Sprintf("cluster run queue full (429): %v", snap.Err)
 	default:
 		return snap.Err.Error()
 	}

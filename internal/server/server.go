@@ -38,6 +38,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -415,7 +416,9 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 // An empty fleet falls back to the local archipelago rather than failing
 // the request — the bytes are identical either way, so availability wins
 // — and the fallback is counted so operators notice a fleet that never
-// fills.
+// fills. A full admission queue (shard.ErrRunQueueFull) does NOT fall
+// back: the cluster is saturated, so shedding the request with 429 +
+// Retry-After beats piling the work onto the coordinator's own CPU.
 func (s *Server) islandRunner(req Request) IslandRunner {
 	if !req.Distributed || s.cfg.Coordinator == nil {
 		return nil
@@ -479,6 +482,16 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.deadlineError(w, r, err, stage)
+			return
+		}
+		if errors.Is(err, shard.ErrRunQueueFull) {
+			// The cluster scheduler's admission queue is at bound. The hint
+			// is derived from the scheduler's stats — pending runs over
+			// dispatch slots, scaled by observed run duration — so clients
+			// back off proportionally to the actual congestion.
+			retry := s.cfg.Coordinator.RetryAfterSeconds()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.httpError(w, http.StatusTooManyRequests, "distributed run queue full; retry in %ds", retry)
 			return
 		}
 		s.httpError(w, http.StatusBadRequest, "layering failed: %v", err)

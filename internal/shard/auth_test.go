@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"antlayer/internal/island"
+)
+
+func TestSecretsEqual(t *testing.T) {
+	cases := []struct {
+		got, want string
+		equal     bool
+	}{
+		{"hunter2", "hunter2", true},
+		{"", "", true},
+		{"hunter2", "hunter3", false},
+		{"hunter2", "hunter2x", false}, // length must not shortcut
+		{"", "hunter2", false},
+	}
+	for _, c := range cases {
+		if got := secretsEqual(c.got, c.want); got != c.equal {
+			t.Errorf("secretsEqual(%q, %q) = %v, want %v", c.got, c.want, got, c.equal)
+		}
+	}
+}
+
+// TestClusterSecretAcceptsMatch: a worker presenting the right secret
+// registers and serves runs as usual.
+func TestClusterSecretAcceptsMatch(t *testing.T) {
+	c, addr, ctx, cancel := startCoordinator(t, CoordinatorConfig{Secret: "hunter2"})
+	defer cancel()
+	startWorker(ctx, addr, WorkerConfig{Name: "w0", Secret: "hunter2"}, true)
+	waitWorkers(t, c, 1)
+
+	g := testGraph(t, 30, 3)
+	p := schedParams(1, 9)
+	want, err := island.Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunIsland(context.Background(), g, p)
+	if err != nil {
+		t.Fatalf("run on authenticated fleet: %v", err)
+	}
+	if fingerprint(res) != fingerprint(want) {
+		t.Error("authenticated run diverged from in-process result")
+	}
+}
+
+// TestClusterSecretRejectsMismatch: a wrong (or missing) secret is a
+// clean registration failure — the worker learns why, never joins the
+// fleet, and nothing is counted as an expulsion.
+func TestClusterSecretRejectsMismatch(t *testing.T) {
+	c, addr, ctx, cancel := startCoordinator(t, CoordinatorConfig{Secret: "hunter2"})
+	defer cancel()
+	for _, secret := range []string{"wrong", ""} {
+		w := NewWorker(WorkerConfig{Name: "intruder", Secret: secret})
+		err := w.Run(ctx, addr)
+		if err == nil || !strings.Contains(err.Error(), "rejected") {
+			t.Errorf("secret %q: err = %v, want a rejection", secret, err)
+		}
+	}
+	// Give any in-flight registration a moment, then confirm no one got in
+	// and the rejection was not treated as an expel.
+	time.Sleep(20 * time.Millisecond)
+	if n := c.Workers(); n != 0 {
+		t.Errorf("fleet size = %d after rejected registrations, want 0", n)
+	}
+	if m := c.Metrics(); m.HeartbeatExpels != 0 {
+		t.Errorf("heartbeat_expels = %d after rejections, want 0", m.HeartbeatExpels)
+	}
+}
+
+// TestSecretlessCoordinatorIgnoresAuth: a coordinator with no secret
+// configured accepts workers whether or not they present one.
+func TestSecretlessCoordinatorIgnoresAuth(t *testing.T) {
+	c, addr, ctx, cancel := startCoordinator(t, CoordinatorConfig{})
+	defer cancel()
+	startWorker(ctx, addr, WorkerConfig{Name: "with", Secret: "anything"}, true)
+	startWorker(ctx, addr, WorkerConfig{Name: "without"}, true)
+	waitWorkers(t, c, 2)
+}

@@ -1,0 +1,37 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"antlayer/internal/island"
+)
+
+// BenchmarkSchedulerDispatch measures the scheduler machinery alone —
+// admission, lease assignment, dispatch, settle, and the next dispatch
+// it triggers — with the wire protocol stubbed out (launch settles the
+// run immediately). The number is the scheduling overhead every
+// distributed run pays on top of its compute; CI pins it in
+// .github/bench/baseline.json.
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	c := NewCoordinator(CoordinatorConfig{QueueDepth: 1 << 20})
+	for i := 1; i <= 8; i++ {
+		c.workers[i] = &workerConn{id: i, name: fmt.Sprintf("w%d", i), lastSeen: time.Now()}
+	}
+	c.launch = func(r *pendingRun, lease []*workerConn) {
+		c.settleRun(r, lease, runOutcome{})
+	}
+	g := testGraph(b, 20, 1)
+	p := island.DefaultParams()
+	p.Islands = 2
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunIsland(ctx, g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"log"
@@ -41,6 +43,18 @@ type CoordinatorConfig struct {
 	// connection (network partition, frozen host). 0 means the default
 	// (10s); negative disables liveness expulsion.
 	HeartbeatTimeout time.Duration
+	// QueueDepth bounds the pending-run queue: runs that cannot dispatch
+	// immediately wait here, FIFO; past the bound RunIsland returns
+	// ErrRunQueueFull. 0 means the default (16); negative disables
+	// waiting entirely (dispatch immediately or reject).
+	QueueDepth int
+	// MaxConcurrentRuns caps how many runs may hold leases at once, on
+	// top of the natural limit of idle workers. 0 means no extra cap.
+	MaxConcurrentRuns int
+	// Secret, when non-empty, requires every registering worker to
+	// present the same shared secret in its hello frame. A mismatch is
+	// a clean rejection (error frame + close), never an expel.
+	Secret string
 	// Log receives registration and run-lifecycle lines. Nil discards.
 	Log *log.Logger
 }
@@ -62,7 +76,8 @@ type workerConn struct {
 	conn net.Conn
 
 	// Guarded by the owning Coordinator's mu.
-	islands    int // size of the last run assignment
+	lease      uint64 // admission number of the run leasing the worker; 0 = idle
+	islands    int    // size of the last run assignment
 	epochs     int64
 	epochTotal time.Duration
 	epochMax   time.Duration
@@ -87,21 +102,39 @@ type workerConn struct {
 // workers that go silent past HeartbeatTimeout, catching deaths that
 // never close the socket.
 //
-// Runs are serialized over the fleet: one distributed run owns every
-// worker at a time. The HTTP daemon's cache and single-flight sit in
-// front, so concurrent identical requests still cost one run.
+// Internally the Coordinator is two layers. The registry/lease layer
+// owns the worker set: each run leases a disjoint subset sized
+// min(islands, fleet), keeps it for the run's lifetime (retries
+// included), and returns it on settle. The scheduler layer owns the
+// bounded FIFO admission queue and dispatches the head as soon as
+// enough idle workers exist, so independent runs proceed concurrently
+// on disjoint leases — one run's finish overlaps the next's first
+// epoch. Worker join/leave re-evaluates only pending runs; in-flight
+// runs keep their lease (see scheduler.go).
 type Coordinator struct {
 	cfg CoordinatorConfig
 
 	mu      sync.Mutex
 	workers map[int]*workerConn
 	nextID  int
-	seq     uint64
+	seq     uint64 // wire sequence: fresh per run attempt, tags frames
 
-	runMu sync.Mutex // serializes distributed runs over the fleet
+	// Scheduler state, guarded by mu (see scheduler.go).
+	queue         []*pendingRun // pending runs in admission order
+	admit         uint64        // admission sequence: queue order tie-break
+	running       int           // runs currently holding leases
+	peakRunning   int           // high-water mark of running
+	runDurTotal   time.Duration // wall time of completed runs (Retry-After)
+	runsDone      int64
+	dispatchMs    [dispatchWindow]float64 // time-to-dispatch ring, ms
+	dispatchCount int64
+	// launch starts a dispatched run on its lease; c.execute in
+	// production, substituted by the scheduler benchmark.
+	launch func(r *pendingRun, lease []*workerConn)
 
 	runs       atomic.Int64
 	runErrors  atomic.Int64
+	rejected   atomic.Int64
 	epochs     atomic.Int64
 	migrations atomic.Int64
 	beatExpels atomic.Int64
@@ -112,7 +145,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.HeartbeatTimeout == 0 {
 		cfg.HeartbeatTimeout = defaultHeartbeatTimeout
 	}
-	return &Coordinator{cfg: cfg, workers: make(map[int]*workerConn)}
+	c := &Coordinator{cfg: cfg, workers: make(map[int]*workerConn)}
+	c.launch = c.execute
+	return c
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -138,6 +173,7 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 			w.conn.Close()
 			delete(c.workers, id)
 		}
+		c.fleetChangedLocked() // fail queued runs: the fleet is gone
 		c.mu.Unlock()
 	}()
 	if c.cfg.HeartbeatTimeout > 0 {
@@ -204,12 +240,22 @@ func (c *Coordinator) reap(now time.Time) int {
 	return len(stale)
 }
 
-// handshake runs the hello/welcome exchange, registers the worker, and
-// starts its reader goroutine.
+// handshake runs the hello/welcome exchange (verifying the shared
+// secret when one is configured), registers the worker, and starts its
+// reader goroutine. Registration can dispatch a waiting run.
 func (c *Coordinator) handshake(conn net.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	var m message
 	if err := readFrame(conn, &m); err != nil || m.Type != msgHello {
+		conn.Close()
+		return
+	}
+	if c.cfg.Secret != "" && !secretsEqual(m.Auth, c.cfg.Secret) {
+		// A clean rejection, not an expel: the peer never joined the
+		// fleet. The error frame tells an honestly misconfigured worker
+		// why, without leaking anything about the expected secret.
+		c.logf("registration from %s rejected: bad cluster secret", conn.RemoteAddr())
+		_ = writeFrame(conn, &message{Type: msgError, Error: "registration rejected: bad cluster secret"})
 		conn.Close()
 		return
 	}
@@ -229,6 +275,19 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	}
 	c.logf("worker %d (%s) registered from %s (%d in fleet)", w.id, w.name, conn.RemoteAddr(), n)
 	go c.readLoop(w)
+	// The fleet grew: a pending run may now have enough idle workers.
+	c.mu.Lock()
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// secretsEqual compares cluster secrets in constant time; hashing first
+// keeps the comparison length-independent, so neither the content nor
+// the length of the configured secret leaks through timing.
+func secretsEqual(got, want string) bool {
+	g := sha256.Sum256([]byte(got))
+	w := sha256.Sum256([]byte(want))
+	return subtle.ConstantTimeCompare(g[:], w[:]) == 1
 }
 
 // readLoop owns every read on a worker's connection. Heartbeats feed the
@@ -274,12 +333,18 @@ func (c *Coordinator) readLoop(w *workerConn) {
 }
 
 // expel removes a worker from the fleet and closes its connection. Safe
-// to call more than once for the same worker.
+// to call more than once for the same worker. The registry change
+// re-evaluates pending runs: a smaller fleet can shrink the lease the
+// queue head needs, and an emptied fleet fails the queue over to the
+// in-process fallback.
 func (c *Coordinator) expel(w *workerConn) {
 	c.mu.Lock()
 	_, present := c.workers[w.id]
 	delete(c.workers, w.id)
 	n := len(c.workers)
+	if present {
+		c.fleetChangedLocked()
+	}
 	c.mu.Unlock()
 	w.conn.Close()
 	if present {
@@ -292,53 +357,6 @@ func (c *Coordinator) Workers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.workers)
-}
-
-// fleet snapshots the registered workers sorted by id. The sort keeps
-// partitions stable run over run; it has no bearing on results (any
-// partition yields the same bytes).
-func (c *Coordinator) fleet() []*workerConn {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ws := make([]*workerConn, 0, len(c.workers))
-	for _, w := range c.workers {
-		ws = append(ws, w)
-	}
-	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
-	return ws
-}
-
-// RunIsland executes the island run distributed over the registered
-// workers and returns the assembled result — byte-identical to
-// island.Run(ctx, g, p) by construction. A worker failure mid-run expels
-// the worker and restarts the run on the survivors; the error returns
-// only when the fleet is exhausted or ctx is done.
-func (c *Coordinator) RunIsland(ctx context.Context, g *dag.Graph, p island.Params) (*island.Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	p.Migrator = nil // transport wiring never crosses the wire
-	c.runMu.Lock()
-	defer c.runMu.Unlock()
-	for {
-		ws := c.fleet()
-		if len(ws) == 0 {
-			return nil, ErrNoWorkers
-		}
-		res, err := c.runOnce(ctx, ws, g, p)
-		if err == nil {
-			c.runs.Add(1)
-			return res, nil
-		}
-		c.runErrors.Add(1)
-		if ctx.Err() != nil {
-			return nil, err
-		}
-		if !errors.Is(err, errWorkerFailure) {
-			return nil, err
-		}
-		c.logf("distributed run failed (%v); retrying on the surviving workers", err)
-	}
 }
 
 // partition splits islands 0..k-1 contiguously over w workers: the first
@@ -361,13 +379,16 @@ func partition(k, w int) [][]int {
 	return parts
 }
 
-// runOnce drives one distributed run over the given fleet snapshot. Any
+// runOnce drives one distributed run over the workers of its lease. Any
 // worker-attributable failure expels the offender, aborts the others
-// back to idle, and returns an error wrapping errWorkerFailure.
+// back to idle, and returns an error wrapping errWorkerFailure. The
+// lease is sized min(islands, fleet) at dispatch, so every leased
+// worker hosts at least one island — no worker sits out a run it is
+// claimed by.
 func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Graph, p island.Params) (*island.Result, error) {
 	k := p.Islands
 	if len(ws) > k {
-		ws = ws[:k] // one island per process at minimum; extras sit out
+		ws = ws[:k] // defensive: a lease is never oversized at dispatch
 	}
 	parts := partition(k, len(ws))
 
@@ -606,6 +627,10 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 type WorkerMetrics struct {
 	ID   int    `json:"id"`
 	Name string `json:"name"`
+	// State is the lease state: "idle", or "leased" to a run, with Run
+	// naming the leasing run's admission number.
+	State string `json:"state"`
+	Run   uint64 `json:"run,omitempty"`
 	// Islands is the size of the worker's slice in the last run it
 	// participated in.
 	Islands int `json:"islands"`
@@ -622,14 +647,35 @@ type WorkerMetrics struct {
 	LastSeenAgeMs float64 `json:"last_seen_age_ms"`
 }
 
+// DispatchMetrics summarises the scheduler's time-to-dispatch: how long
+// admitted runs waited in the queue before workers were leased to them,
+// nearest-rank quantiles over the recent window.
+type DispatchMetrics struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
 // ClusterMetrics is the coordinator's observability snapshot, served by
 // the daemon's /metrics and /cluster endpoints.
 type ClusterMetrics struct {
-	Workers    int   `json:"workers"`
-	Runs       int64 `json:"runs"`
-	RunErrors  int64 `json:"run_errors"`
-	Epochs     int64 `json:"epochs"`
-	Migrations int64 `json:"migrations"`
+	Workers int `json:"workers"`
+	// IdleWorkers counts registered workers not currently leased to a
+	// run; Workers - IdleWorkers are held by the runs in flight.
+	IdleWorkers int   `json:"idle_workers"`
+	Runs        int64 `json:"runs"`
+	RunErrors   int64 `json:"run_errors"`
+	// Scheduler state: runs holding leases right now, the concurrency
+	// high-water mark, queued runs awaiting dispatch against the queue
+	// bound, and admissions rejected with ErrRunQueueFull.
+	RunsInFlight       int             `json:"runs_in_flight"`
+	PeakConcurrentRuns int             `json:"peak_concurrent_runs"`
+	RunsQueued         int             `json:"runs_queued"`
+	RunQueueBound      int             `json:"run_queue_bound"`
+	RunsRejected       int64           `json:"runs_rejected"`
+	DispatchMs         DispatchMetrics `json:"dispatch_ms"`
+	Epochs             int64           `json:"epochs"`
+	Migrations         int64           `json:"migrations"`
 	// HeartbeatExpels counts workers expelled by the liveness reaper for
 	// going silent past HeartbeatTimeoutMs (run-time failures expel
 	// through the run path and are not counted here).
@@ -643,13 +689,19 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := ClusterMetrics{
-		Workers:         len(c.workers),
-		Runs:            c.runs.Load(),
-		RunErrors:       c.runErrors.Load(),
-		Epochs:          c.epochs.Load(),
-		Migrations:      c.migrations.Load(),
-		HeartbeatExpels: c.beatExpels.Load(),
+		Workers:            len(c.workers),
+		Runs:               c.runs.Load(),
+		RunErrors:          c.runErrors.Load(),
+		RunsInFlight:       c.running,
+		PeakConcurrentRuns: c.peakRunning,
+		RunsQueued:         len(c.queue),
+		RunQueueBound:      c.queueDepth(),
+		RunsRejected:       c.rejected.Load(),
+		Epochs:             c.epochs.Load(),
+		Migrations:         c.migrations.Load(),
+		HeartbeatExpels:    c.beatExpels.Load(),
 	}
+	m.DispatchMs.Count, m.DispatchMs.P50Ms, m.DispatchMs.P99Ms = c.dispatchQuantilesLocked()
 	if c.cfg.HeartbeatTimeout > 0 {
 		m.HeartbeatTimeoutMs = float64(c.cfg.HeartbeatTimeout.Nanoseconds()) / 1e6
 	}
@@ -662,9 +714,14 @@ func (c *Coordinator) Metrics() ClusterMetrics {
 	for _, id := range ids {
 		w := c.workers[id]
 		wm := WorkerMetrics{
-			ID: w.id, Name: w.name, Islands: w.islands, Epochs: w.epochs,
+			ID: w.id, Name: w.name, State: "idle", Islands: w.islands, Epochs: w.epochs,
 			Heartbeats:    w.beats,
 			LastSeenAgeMs: float64(now.Sub(w.lastSeen).Nanoseconds()) / 1e6,
+		}
+		if w.lease != 0 {
+			wm.State, wm.Run = "leased", w.lease
+		} else {
+			m.IdleWorkers++
 		}
 		if w.epochs > 0 {
 			wm.MeanEpochMs = float64(w.epochTotal.Nanoseconds()) / float64(w.epochs) / 1e6

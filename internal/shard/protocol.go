@@ -65,7 +65,10 @@ type message struct {
 	Seq uint64 `json:"seq,omitempty"`
 
 	// hello (worker → coordinator) / welcome (coordinator → worker).
+	// Auth carries the shared cluster secret when the coordinator
+	// requires one; compared in constant time on the coordinator.
 	Name     string `json:"name,omitempty"`
+	Auth     string `json:"auth,omitempty"`
 	WorkerID int    `json:"worker_id,omitempty"`
 
 	// run (coordinator → worker).

@@ -47,6 +47,10 @@ type WorkerConfig struct {
 	// Name identifies the worker in the coordinator's logs and metrics.
 	// Empty means the coordinator assigns "worker-<id>".
 	Name string
+	// Secret is the shared cluster secret presented at registration.
+	// Must match the coordinator's when one is configured there; a
+	// mismatch is a clean registration failure.
+	Secret string
 	// HeartbeatInterval is how often the worker sends a liveness frame —
 	// also while computing an epoch, so a slow shard is distinguishable
 	// from a dead one. 0 means the default (2s); negative disables
@@ -124,13 +128,16 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 	}()
 
 	lc := &lockedConn{conn: conn}
-	if err := lc.write(&message{Type: msgHello, Name: w.cfg.Name}); err != nil {
+	if err := lc.write(&message{Type: msgHello, Name: w.cfg.Name, Auth: w.cfg.Secret}); err != nil {
 		return err
 	}
 	var welcome message
 	if err := readFrame(conn, &welcome); err != nil || welcome.Type != msgWelcome {
 		if ctx.Err() != nil {
 			return nil
+		}
+		if err == nil && welcome.Type == msgError {
+			return fmt.Errorf("shard: registration with %s rejected: %s", addr, welcome.Error)
 		}
 		return fmt.Errorf("shard: registration with %s failed (got %v, err %v)", addr, welcome.Type, err)
 	}
