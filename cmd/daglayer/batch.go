@@ -1,14 +1,19 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +36,12 @@ func runBatch(ctx context.Context, args []string, stdout io.Writer) error {
 Layers every .dot and .edges file in <dir> concurrently and writes a
 <name>.json result per input (the same JSON the HTTP daemon serves).
 
+With -stream, the files are submitted to a running daemon's POST
+/jobs/bulk instead of computing locally: one ndjson line per input goes
+up, results stream back in completion order, and each is written as it
+arrives. Requires -addr; -jobs is ignored (the daemon's job pool is the
+bound).
+
 flags:
 `)
 		fs.PrintDefaults()
@@ -38,6 +49,8 @@ flags:
 	var (
 		out        = fs.String("out", "", "output directory (default: the input directory)")
 		jobs       = fs.Int("jobs", 0, "concurrent layering jobs (0 = all CPUs)")
+		stream     = fs.Bool("stream", false, "submit through a daemon's POST /jobs/bulk and stream results back (requires -addr)")
+		addr       = fs.String("addr", "", "daemon base URL for -stream, e.g. http://localhost:8645")
 		timeout    = fs.Duration("timeout", 0, "per-file deadline (0 = none)")
 		algo       = fs.String("algo", "aco", "layering algorithm: aco|island|lpl|minwidth|cg|ns")
 		doPromote  = fs.Bool("promote", false, "apply the Promote Layering post-processing step")
@@ -94,6 +107,13 @@ flags:
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
+	}
+
+	if *stream {
+		if *addr == "" {
+			return fmt.Errorf("-stream needs -addr (the daemon's base URL)")
+		}
+		return runBatchStream(ctx, *addr, dir, outDir, inputs, streamQuery(req, *timeout), stdout)
 	}
 
 	q := batch.New(batch.Config{
@@ -213,6 +233,128 @@ func batchInputs(dir string) ([]string, error) {
 	}
 	sort.Strings(inputs)
 	return inputs, nil
+}
+
+// streamQuery renders the parsed batch flags as the /layer query string a
+// bulk line carries (format is filled in per file).
+func streamQuery(req server.Request, timeout time.Duration) url.Values {
+	v := url.Values{}
+	v.Set("algo", req.Algo)
+	if req.Promote {
+		v.Set("promote", "true")
+	}
+	v.Set("dummy-width", strconv.FormatFloat(req.DummyWidth, 'g', -1, 64))
+	v.Set("cg-width", strconv.Itoa(req.CGWidth))
+	v.Set("ants", strconv.Itoa(req.ACO.Ants))
+	v.Set("tours", strconv.Itoa(req.ACO.Tours))
+	v.Set("alpha", strconv.FormatFloat(req.ACO.Alpha, 'g', -1, 64))
+	v.Set("beta", strconv.FormatFloat(req.ACO.Beta, 'g', -1, 64))
+	v.Set("seed", strconv.FormatInt(req.ACO.Seed, 10))
+	if req.ACO.Workers > 0 {
+		v.Set("workers", strconv.Itoa(req.ACO.Workers))
+	}
+	v.Set("islands", strconv.Itoa(req.Islands))
+	v.Set("migration-interval", strconv.Itoa(req.MigrationInterval))
+	if timeout > 0 {
+		v.Set("timeout-ms", strconv.FormatInt(timeout.Milliseconds(), 10))
+	}
+	return v
+}
+
+// runBatchStream is `daglayer batch -stream`: ship every input to a
+// daemon's POST /jobs/bulk?envelope=true as ndjson and write each result
+// as its line streams back, in completion order. The envelope mode is
+// what correlates a result to its input file (raw mode's lines are
+// /layer bodies with no line number); the body inside the envelope is
+// byte-identical to what /layer — and the local batch mode — would have
+// produced.
+func runBatchStream(ctx context.Context, addr, dir, outDir string, inputs []string, query url.Values, stdout io.Writer) error {
+	dest := destNames(inputs)
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, name := range inputs {
+		graph, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		q := url.Values{}
+		for k, vs := range query {
+			q[k] = vs
+		}
+		if strings.HasSuffix(name, ".dot") {
+			q.Set("format", "dot")
+		} else {
+			q.Set("format", "edges")
+		}
+		// Encode emits one compact JSON document plus '\n' — one ndjson line.
+		if err := enc.Encode(map[string]string{"query": q.Encode(), "graph": string(graph)}); err != nil {
+			return err
+		}
+	}
+
+	u := strings.TrimSuffix(addr, "/") + "/jobs/bulk?envelope=true"
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("bulk request to %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("bulk request to %s: %s: %s", addr, resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	done, failed := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	for sc.Scan() {
+		var res struct {
+			Line       int             `json:"line"`
+			State      string          `json:"state"`
+			Error      string          `json:"error"`
+			RetryAfter int             `json:"retry_after"`
+			Body       json.RawMessage `json:"body"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			return fmt.Errorf("bad result line %q: %w", sc.Text(), err)
+		}
+		name := fmt.Sprintf("line %d", res.Line)
+		if res.Line >= 1 && res.Line <= len(inputs) {
+			name = inputs[res.Line-1]
+		}
+		if res.State == "done" {
+			// The envelope compacts the body; restore the trailing newline
+			// the non-stream mode's result files carry.
+			out := append(append([]byte(nil), res.Body...), '\n')
+			if err := os.WriteFile(filepath.Join(outDir, dest[name]), out, 0o644); err != nil {
+				return err
+			}
+			done++
+			fmt.Fprintf(stdout, "%-30s ok     %s\n", name, summarize(out))
+			continue
+		}
+		failed++
+		reason := res.Error
+		if res.RetryAfter > 0 {
+			reason = fmt.Sprintf("%s (retry in %ds)", res.Error, res.RetryAfter)
+		}
+		fmt.Fprintf(stdout, "%-30s FAILED %s\n", name, reason)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading bulk results: %w", err)
+	}
+	fmt.Fprintf(stdout, "batch: %d/%d layered (streamed via %s)\n", done, len(inputs), addr)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("batch interrupted: %w", err)
+	}
+	if failed > 0 || done != len(inputs) {
+		return fmt.Errorf("%d of %d inputs failed", len(inputs)-done, len(inputs))
+	}
+	return nil
 }
 
 // summarize renders the one-line metrics digest of a result body for the

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"antlayer/internal/server"
 )
 
 // writeBatchCorpus lays out a mixed directory: two DOT files, one edge
@@ -183,5 +186,58 @@ func TestLayerIslandAlgo(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "algorithm: island") {
 		t.Fatalf("island layer output:\n%s", out.String())
+	}
+}
+
+// TestBatchStreamMode drives `daglayer batch -stream` end to end against
+// a live daemon: every input goes up /jobs/bulk, results stream back, and
+// each written file is byte-identical to what the local batch mode
+// produces for the same flags — the full push pipeline under one test.
+func TestBatchStreamMode(t *testing.T) {
+	dir := writeBatchCorpus(t)
+	localOut, streamOut := t.TempDir(), t.TempDir()
+	flags := []string{"-algo", "aco", "-tours", "2", "-seed", "5"}
+
+	var buf bytes.Buffer
+	args := append(append([]string{"batch", "-out", localOut}, flags...), dir)
+	if err := run(context.Background(), args, nil, &buf); err != nil {
+		t.Fatalf("local batch: %v\n%s", err, buf.String())
+	}
+
+	s := server.New(server.Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	buf.Reset()
+	args = append(append([]string{"batch", "-stream", "-addr", ts.URL, "-out", streamOut}, flags...), dir)
+	if err := run(context.Background(), args, nil, &buf); err != nil {
+		t.Fatalf("stream batch: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "3/3 layered (streamed via") {
+		t.Fatalf("stream summary missing:\n%s", buf.String())
+	}
+
+	for _, name := range []string{"a.json", "b.json", "c.json"} {
+		local, err := os.ReadFile(filepath.Join(localOut, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := os.ReadFile(filepath.Join(streamOut, name))
+		if err != nil {
+			t.Fatalf("stream result missing: %v", err)
+		}
+		if !bytes.Equal(local, streamed) {
+			t.Fatalf("%s: streamed result differs from local batch:\n%s\nvs\n%s", name, streamed, local)
+		}
+	}
+}
+
+// TestBatchStreamNeedsAddr: -stream without -addr is refused up front.
+func TestBatchStreamNeedsAddr(t *testing.T) {
+	dir := writeBatchCorpus(t)
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"batch", "-stream", dir}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-addr") {
+		t.Fatalf("err = %v, want a -addr complaint", err)
 	}
 }

@@ -30,6 +30,9 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		jobQueue    = fs.Int("job-queue", 64, "async job backlog bound; POST /jobs beyond it answers 429")
 		jobRetain   = fs.Int("job-retention", 256, "finished jobs kept pollable before eviction")
 		jobExpiry   = fs.Duration("job-expiry", 0, "additionally evict finished jobs older than this (0 = count bound only)")
+		eventRing   = fs.Int("event-ring", 0, "job-event replay ring size; bounds how far back an SSE reconnect can resume (0 = default 1024)")
+		sseHeart    = fs.Duration("sse-heartbeat", 0, "heartbeat-comment interval on idle SSE streams (0 = default 15s)")
+		whRetries   = fs.Int("webhook-retries", 0, "delivery attempts per webhook event before giving up (0 = default 4)")
 		coordinator = fs.String("coordinator", "", "also run a shard coordinator on this address (e.g. :8650); workers join with 'daglayer worker'")
 		hbTimeout   = fs.Duration("heartbeat-timeout", 0, "expel workers silent longer than this (0 = library default, negative disables)")
 		runQueue    = fs.Int("run-queue", 0, "distributed-run admission queue bound; runs beyond it answer 429 (0 = default 16, negative = dispatch-or-reject)")
@@ -47,13 +50,31 @@ Runs the layering HTTP daemon:
                      (add distributed=true on a coordinator to shard
                      algo=island over the worker fleet)
   POST   /jobs       same request, asynchronously: 202 + job id
+  POST   /jobs/bulk  ndjson of {query,graph} lines in, one result line
+                     per job out, streamed in completion order
+                     (?envelope=true wraps raw /layer bodies with
+                     line/job/state; 'daglayer batch -stream' uses this)
   GET    /jobs       list tracked jobs (?state=queued|running|done|failed)
   GET    /jobs/{id}  poll a job (done jobs answer the /layer body)
+  GET    /jobs/{id}/events
+                     stream the job's state transitions as Server-Sent
+                     Events; Last-Event-ID (or ?after=) replays missed
+                     transitions from a bounded ring, exactly once
   DELETE /jobs/{id}  cancel a job
+  GET    /events     SSE firehose of every job's transitions
+                     (?topic= filters to one submission label)
+  POST   /subscriptions
+                     register a webhook {url, topic, job}; events POST
+                     to the url with retries on the worker-reconnect
+                     backoff schedule
+  GET    /subscriptions
+                     list webhooks + delivery stats (GET/DELETE
+                     /subscriptions/{id} inspects/cancels one)
   GET    /healthz    liveness + build info
   GET    /metrics    counters: requests, cache hit rate + bytes, tours,
                      p50/p99 latency, job queue depth and per-state
-                     counts, cluster epochs/migrations
+                     counts, event/webhook delivery, cluster
+                     epochs/migrations
   GET    /cluster    the shard coordinator's fleet (coordinator only)
 
 With -coordinator the daemon also owns a distributed archipelago: worker
@@ -85,6 +106,9 @@ flags:
 		JobQueueDepth:     *jobQueue,
 		JobRetention:      *jobRetain,
 		JobExpiry:         *jobExpiry,
+		EventRing:         *eventRing,
+		SSEHeartbeat:      *sseHeart,
+		WebhookRetries:    *whRetries,
 		FaultComputeDelay: *faultDelay,
 	}
 	if !*quiet {

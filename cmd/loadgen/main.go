@@ -55,7 +55,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "", "raw load mode: drive this already-running daemon instead of a scenario")
 		rps      = fs.Float64("rps", 25, "raw load mode: request rate")
 		duration = fs.Duration("duration", 10*time.Second, "raw load mode: how long to drive")
-		mixFlag  = fs.String("mix", "hot=3,cold=1,jobs=1", "raw load mode: traffic weights hot,cold,distributed,jobs,oversize")
+		mixFlag  = fs.String("mix", "hot=3,cold=1,jobs=1", "raw load mode: traffic weights hot,cold,distributed,jobs,events,oversize")
 		seed     = fs.Int64("seed", 1, "raw load mode: generator seed")
 	)
 	fs.Usage = func() {
@@ -240,13 +240,15 @@ func parseMix(s string) (chaos.Mix, error) {
 			mix.Distributed = n
 		case "jobs":
 			mix.Jobs = n
+		case "events", "sse":
+			mix.Events = n
 		case "oversize", "over":
 			mix.Oversize = n
 		default:
-			return mix, fmt.Errorf("unknown class %q (want hot|cold|distributed|jobs|oversize)", kv[0])
+			return mix, fmt.Errorf("unknown class %q (want hot|cold|distributed|jobs|events|oversize)", kv[0])
 		}
 	}
-	if mix.Hot+mix.Cold+mix.Distributed+mix.Jobs+mix.Oversize == 0 {
+	if mix.Hot+mix.Cold+mix.Distributed+mix.Jobs+mix.Events+mix.Oversize == 0 {
 		return mix, fmt.Errorf("empty mix")
 	}
 	return mix, nil

@@ -40,9 +40,9 @@ const (
 	StateFailed  State = "failed"
 )
 
-// Terminal reports whether a job in this state is finished (done or
-// failed) and will never change state again.
-func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+// Terminal reports whether a job in this state is finished (done,
+// failed, or swept as expired) and will never change state again.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed || s == StateExpired }
 
 // Common queue errors.
 var (
@@ -80,6 +80,10 @@ type Config struct {
 	// queue does not pin day-old results in memory waiting for the
 	// count bound. 0 disables age-based expiry.
 	ExpireAfter time.Duration
+	// EventRing bounds the pub/sub replay ring: how many recent job
+	// state transitions Events retains for Last-Event-ID-style replay.
+	// 0 means 1024.
+	EventRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,9 +102,10 @@ func (c Config) withDefaults() Config {
 // Job is one unit of work owned by a Queue. All accessors return
 // consistent snapshots; Wait blocks until the job is terminal.
 type Job struct {
-	id  string
-	seq uint64 // submission order; List sorts by it (ids zero-pad out at 10^6)
-	fn  Func
+	id     string
+	seq    uint64 // submission order; List sorts by it (ids zero-pad out at 10^6)
+	fn     Func
+	labels []string // topics; immutable after Submit
 
 	mu        sync.Mutex
 	state     State
@@ -129,7 +134,9 @@ type Snapshot struct {
 	Err error
 	// Canceled reports that the failure was caused by Cancel rather than
 	// the work itself.
-	Canceled  bool
+	Canceled bool
+	// Labels are the job's topics (see SubmitLabeled).
+	Labels    []string
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
@@ -145,6 +152,7 @@ func (j *Job) Snapshot() Snapshot {
 		Result:    j.result,
 		Err:       j.err,
 		Canceled:  j.canceled,
+		Labels:    j.labels,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
@@ -195,6 +203,7 @@ type Queue struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 	pending    chan *Job
+	events     *Events
 	wg         sync.WaitGroup
 	sweepStop  chan struct{} // nil when age-based expiry is off
 	sweepDone  chan struct{}
@@ -217,6 +226,7 @@ func New(cfg Config) *Queue {
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		pending:    make(chan *Job, cfg.Depth),
+		events:     newEvents(cfg.EventRing),
 		jobs:       make(map[string]*Job),
 	}
 	q.stats.Depth = cfg.Depth
@@ -277,10 +287,22 @@ func (q *Queue) expire(now time.Time) int {
 		}
 		j.mu.Lock()
 		expired := now.Sub(j.finished) >= ttl
+		if expired {
+			// Mark and publish BEFORE removal: a List that collected this
+			// job's pointer just before the sweep snapshots StateExpired
+			// (and filters it out) instead of briefly reporting the stale
+			// done/failed state of a job that is already gone, and event
+			// subscribers learn the id was evicted rather than polling
+			// into a 404. Result/Err stay intact so a racing reader that
+			// already held the job still gets its data.
+			j.state = StateExpired
+		}
+		ev := eventOf(j, StateExpired)
 		j.mu.Unlock()
 		if !expired {
 			break
 		}
+		q.events.publish(ev)
 		delete(q.jobs, j.id)
 		q.retention = q.retention[1:]
 		q.stats.Expired++
@@ -292,34 +314,50 @@ func (q *Queue) expire(now time.Time) int {
 // Submit enqueues fn and returns its job. It fails fast with ErrQueueFull
 // when the backlog is at capacity and ErrClosed after Close.
 func (q *Queue) Submit(fn Func) (*Job, error) {
+	return q.SubmitLabeled(fn)
+}
+
+// SubmitLabeled is Submit with topic labels attached to the job: every
+// event the job publishes carries them, so per-topic subscribers (an SSE
+// /events?topic= stream, a webhook subscription) see it. Labels do not
+// influence the work or its result.
+func (q *Queue) SubmitLabeled(fn Func, labels ...string) (*Job, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return nil, ErrClosed
+	}
+	// Submit is the only sender on q.pending and runs under q.mu, so a
+	// length check is a reliable admission test — and doing it before
+	// publishing means the queued event precedes the job's visibility to
+	// workers, which is what keeps queued < running in sequence order.
+	if len(q.pending) >= cap(q.pending) {
+		q.stats.Rejected++
+		q.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d jobs pending", ErrQueueFull, len(q.pending))
 	}
 	q.seq++
 	j := &Job{
 		id:        fmt.Sprintf("j%06d", q.seq),
 		seq:       q.seq,
 		fn:        fn,
+		labels:    labels,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	select {
-	case q.pending <- j:
-	default:
-		q.seq-- // the id was never issued
-		q.stats.Rejected++
-		q.mu.Unlock()
-		return nil, fmt.Errorf("%w: %d jobs pending", ErrQueueFull, len(q.pending))
-	}
 	q.jobs[j.id] = j
 	q.stats.Submitted++
 	q.stats.Queued++
+	q.events.publish(eventOf(j, StateQueued))
+	q.pending <- j // cannot block: admission was checked above
 	q.mu.Unlock()
 	return j, nil
 }
+
+// Events returns the queue's pub/sub manager: every job state transition
+// (queued, running, done, failed, expired) is published to it.
+func (q *Queue) Events() *Events { return q.events }
 
 // Get returns the job with the given id, if it is still tracked (jobs
 // evicted by the retention bound are gone).
@@ -348,6 +386,12 @@ func (q *Queue) List(filter State) []Snapshot {
 	snaps := make([]Snapshot, 0, len(jobs))
 	for _, j := range jobs {
 		snap := j.Snapshot()
+		// A job the expiry sweep evicted between the collection above and
+		// this snapshot reports StateExpired — it is no longer tracked, so
+		// it must not be listed (with any filter) as if it still were.
+		if snap.State == StateExpired {
+			continue
+		}
 		if filter != "" && snap.State != filter {
 			continue
 		}
@@ -442,6 +486,9 @@ func (q *Queue) Close() {
 		close(q.sweepStop)
 		<-q.sweepDone
 	}
+	// Workers and sweeper have drained: no publisher is left, so the
+	// subscriber channels can close and streaming consumers unblock.
+	q.events.closeAll()
 }
 
 // worker pops jobs until the pending channel drains after Close.
@@ -469,7 +516,11 @@ func (q *Queue) worker() {
 		j.started = time.Now()
 		j.cancel = cancel
 		canceled := j.canceled // Cancel may have raced Submit
+		ev := eventOf(j, StateRunning)
 		j.mu.Unlock()
+		// The terminal event is published by finish, called below on this
+		// same goroutine, so a job's running event always precedes it.
+		q.events.publish(ev)
 		q.gauge(-1, +1)
 		if canceled {
 			cancel()
@@ -531,8 +582,10 @@ func (q *Queue) finish(j *Job, result []byte, err error) {
 	}
 	j.finished = time.Now()
 	canceled := j.canceled
+	ev := eventOf(j, j.state)
 	j.mu.Unlock()
 	close(j.done)
+	q.events.publish(ev)
 
 	if wasQueued {
 		q.stats.Queued--

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,14 +44,18 @@ type Mix struct {
 	// Jobs exercises the async path: POST /jobs, then poll to a terminal
 	// state (a fraction of submissions are cancelled instead).
 	Jobs int `json:"jobs"`
+	// Events exercises the push path: POST /jobs with a topic label, then
+	// follow the job over its SSE stream (GET /jobs/{id}/events) to a
+	// terminal state instead of polling.
+	Events int `json:"events"`
 	// Oversize posts a body beyond the daemon's -max-body, expecting 413.
 	Oversize int `json:"oversize"`
 }
 
-func (m Mix) total() int { return m.Hot + m.Cold + m.Distributed + m.Jobs + m.Oversize }
+func (m Mix) total() int { return m.Hot + m.Cold + m.Distributed + m.Jobs + m.Events + m.Oversize }
 
 // pick draws a traffic class from the mix: "hot", "cold", "dist",
-// "jobs" or "over".
+// "jobs", "events" or "over".
 func (m Mix) pick(rng *rand.Rand) string {
 	n := m.total()
 	if n <= 0 {
@@ -66,6 +71,8 @@ func (m Mix) pick(rng *rand.Rand) string {
 		return "dist"
 	case r < m.Hot+m.Cold+m.Distributed+m.Jobs:
 		return "jobs"
+	case r < m.Hot+m.Cold+m.Distributed+m.Jobs+m.Events:
+		return "events"
 	default:
 		return "over"
 	}
@@ -216,6 +223,8 @@ func (g *Generator) one(ctx context.Context, rng *rand.Rand, mix Mix, s *SampleS
 		class = g.postLayer(ctx, fmt.Sprintf("algo=island&islands=%d&tours=2&migration-interval=1&distributed=true&seed=%d", 2+rng.Intn(3), 1000+g.coldSeq.Add(1)), loadDOT)
 	case "jobs":
 		class = g.oneJob(ctx, rng)
+	case "events":
+		class = g.oneEventJob(ctx)
 	case "over":
 		class = g.postOversize(ctx)
 	}
@@ -320,6 +329,67 @@ func (g *Generator) cancelJob(ctx context.Context, id string) string {
 		return "ok" // a cancel acknowledged is a successful exchange
 	}
 	return class
+}
+
+// oneEventJob submits a labeled async job and follows it over its SSE
+// stream instead of polling — the push path under load. A full queue
+// answers the submission with the usual 429 (an expected class wherever
+// Jobs rejections are expected).
+func (g *Generator) oneEventJob(ctx context.Context) string {
+	query := fmt.Sprintf("algo=aco&tours=2&seed=%d&label=chaos", 1000+g.coldSeq.Add(1))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.BaseURL+"/jobs?"+query, strings.NewReader(loadDOT))
+	if err != nil {
+		return "conn"
+	}
+	resp, err := g.Client.Do(req)
+	if class := classify(resp, err); class != "ok" {
+		drain(resp)
+		return class
+	}
+	var status struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil || status.ID == "" {
+		return "job_bad_submit"
+	}
+	return g.watchJob(ctx, status.ID)
+}
+
+// watchJob is the push analogue of pollJob: read the job's SSE stream
+// until the terminal event (the per-job stream ends itself right after
+// it). The deadline matches pollJob's, so a wedged stream becomes a
+// sample, not a stuck worker.
+func (g *Generator) watchJob(ctx context.Context, id string) string {
+	ctx, cancel := context.WithTimeout(ctx, 8*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.BaseURL+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "conn"
+	}
+	resp, err := g.Client.Do(req)
+	if class := classify(resp, err); class != "ok" {
+		drain(resp)
+		return class
+	}
+	defer drain(resp)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		switch strings.TrimSpace(strings.TrimPrefix(sc.Text(), "event:")) {
+		case "done":
+			return "ok"
+		case "failed", "expired":
+			return "job_failed"
+		case "shutdown":
+			return "sse_shutdown"
+		}
+	}
+	if ctx.Err() != nil {
+		return "timeout"
+	}
+	// The stream ended without a terminal event: a push-contract breach.
+	return "sse_truncated"
 }
 
 // pollJob follows a job to done/failed, bounded so a stuck queue turns

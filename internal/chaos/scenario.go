@@ -208,8 +208,11 @@ func queueFull() Scenario {
 		Workers:     0,
 		ServeArgs:   []string{"-job-workers", "1", "-job-queue", "2", "-fault-compute-delay", "150ms"},
 		RPS:         10,
-		Mix:         Mix{Hot: 1, Jobs: 4},
-		Healthy:     healthy,
+		// A slice of the job traffic watches its submissions over SSE
+		// instead of polling, so the flood also proves the push path keeps
+		// its contract (and its 429s) under queue pressure.
+		Mix:     Mix{Hot: 1, Jobs: 3, Events: 1},
+		Healthy: healthy,
 		Phases: []Phase{
 			{Name: "warmup", Duration: 2 * time.Second, RPS: 4, Expected: []string{"429"}, SLO: SLO{MaxErrorRate: 0, MinRequests: 5}},
 			// The flood: submissions far outrun one 150ms-per-job worker.

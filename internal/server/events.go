@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"antlayer/internal/batch"
+)
+
+// The push side of the job API. GET /jobs/{id}/events and GET
+// /events?topic= stream job state transitions as Server-Sent Events:
+// one `id:`/`event:`/`data:` block per transition, where the id is the
+// event layer's global monotonic sequence number. A client that
+// reconnects with a Last-Event-ID header (or ?after= — handy with curl)
+// has the transitions it missed replayed from the bounded ring before
+// the live stream resumes, so across one reconnect it observes every
+// transition of its job exactly once, in order — as long as the gap
+// still fits the ring (-event-ring). Heartbeat comments keep idle
+// proxies from reaping the connection; a graceful shutdown ends every
+// stream with an `event: shutdown` block (the streaming cousin of the
+// 503 the request paths answer), and a vanished client just ends the
+// stream (the 499 case — nothing to answer).
+
+// sseEvent writes one Server-Sent Event block: the sequence number as
+// the id (so the browser's EventSource reconnect machinery replays from
+// it automatically), the state as the event name, the full event JSON as
+// the data line.
+func sseEvent(w http.ResponseWriter, ev batch.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.State, data)
+	return err
+}
+
+// lastEventID resolves the resume point of a stream: the standard
+// Last-Event-ID header (what EventSource sends on reconnect), overridden
+// by an explicit ?after= query parameter (what a curl user types).
+func lastEventID(r *http.Request) (uint64, error) {
+	raw := r.Header.Get("Last-Event-ID")
+	if v := r.URL.Query().Get("after"); v != "" {
+		raw = v
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad event id %q: %v", raw, err)
+	}
+	return n, nil
+}
+
+// handleJobEvents serves GET /jobs/{id}/events: that job's transitions,
+// ending after the terminal (done/failed/expired) event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.httpError(w, http.StatusMethodNotAllowed, "GET streams a job's events")
+		return
+	}
+	_, tracked := s.jobs.Get(id)
+	if !tracked && len(s.jobs.Events().Replay(0, id, "")) == 0 {
+		s.httpError(w, http.StatusNotFound, "no such job %q (finished jobs are retained for a bounded time)", id)
+		return
+	}
+	s.streamEvents(w, r, id, "", true)
+}
+
+// handleEvents serves GET /events?topic=: the firehose of every job's
+// transitions, optionally filtered to one topic label. The stream stays
+// open until the client leaves or the daemon shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.httpError(w, http.StatusMethodNotAllowed, "GET streams job events (optionally ?topic=label)")
+		return
+	}
+	s.streamEvents(w, r, "", r.URL.Query().Get("topic"), false)
+}
+
+// streamEvents is the shared SSE loop. Subscribe first, then replay the
+// ring past the client's last seen sequence number, then serve live
+// events — skipping anything at or below the replay high-water mark, so
+// the subscribe/replay overlap can never duplicate. A slow consumer that
+// the publisher marked as dropped is resynchronised by another ring
+// replay from its last delivered sequence number.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jobID, topic string, endOnTerminal bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	last, err := lastEventID(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	events := s.jobs.Events()
+	sub := events.Subscribe(jobID, topic, 64)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // nginx: do not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	s.metrics.sseStreams.Add(1)
+	s.metrics.sseActive.Add(1)
+	defer s.metrics.sseActive.Add(-1)
+
+	// A reconnect whose resume point predates the ring cannot be made
+	// whole; say so instead of silently skipping, so the client knows to
+	// re-fetch state via GET /jobs/{id}.
+	if oldest := events.OldestRetained(); last > 0 && oldest > last+1 {
+		fmt.Fprintf(w, "event: gap\ndata: {\"oldest_retained\":%d,\"after\":%d}\n\n", oldest, last)
+	}
+
+	// emit delivers one event exactly once in sequence order; it reports
+	// whether the stream should end (terminal event on a per-job stream).
+	emit := func(ev batch.Event) (done bool, err error) {
+		if ev.Seq <= last {
+			return false, nil
+		}
+		if err := sseEvent(w, ev); err != nil {
+			return true, err
+		}
+		last = ev.Seq
+		return endOnTerminal && ev.JobID == jobID && ev.State.Terminal(), nil
+	}
+	replay := func() (done bool, err error) {
+		for _, ev := range events.Replay(last, jobID, topic) {
+			if done, err := emit(ev); done || err != nil {
+				return done, err
+			}
+		}
+		return false, nil
+	}
+	if done, err := replay(); done || err != nil {
+		flusher.Flush()
+		return
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok { // queue closed under us: shutdown
+				fmt.Fprintf(w, "event: shutdown\ndata: {\"reason\":\"server shutting down\"}\n\n")
+				flusher.Flush()
+				return
+			}
+			done, err := emit(ev)
+			if err != nil {
+				return
+			}
+			if !done && sub.Dropped() > 0 {
+				// The publisher dropped events for us while the buffer was
+				// full; recover them from the ring before reading on.
+				done, err = replay()
+				if err != nil {
+					return
+				}
+			}
+			flusher.Flush()
+			if done {
+				return
+			}
+		case <-heartbeat.C:
+			// A comment line: ignored by SSE clients, keeps proxies and
+			// load balancers convinced the connection is alive.
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			// Client gone (or the server cancelled its base context): the
+			// streaming analogue of 499 — nothing left to tell anyone.
+			return
+		case <-s.shutdownCh:
+			fmt.Fprintf(w, "event: shutdown\ndata: {\"reason\":\"server shutting down\"}\n\n")
+			flusher.Flush()
+			return
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The non-streaming edges of the push API: method discipline, bad resume
+// cursors, and subscription inspection.
+
+func TestEventsEndpointMethodAndResumeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/events", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /events: got %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Fatalf("Allow = %q, want GET", allow)
+	}
+
+	resp, err = http.Get(ts.URL + "/events?after=not-a-number")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ?after=: got %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/jobs/whatever/events", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /jobs/{id}/events: got %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSubscriptionGet(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := strings.NewReader(`{"url":"http://127.0.0.1:9/hook","topic":"alpha"}`)
+	resp, err := http.Post(ts.URL+"/subscriptions", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created webhookInfo
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("create: status %d, info %+v", resp.StatusCode, created)
+	}
+
+	resp, err = http.Get(ts.URL + "/subscriptions/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET one: got %d (%s), want 200", resp.StatusCode, data)
+	}
+	var got webhookInfo
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != created.ID || got.URL != "http://127.0.0.1:9/hook" || got.Topic != "alpha" {
+		t.Fatalf("GET one: %+v", got)
+	}
+
+	for _, path := range []string{"/subscriptions/nope", "/subscriptions/a/b"} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: got %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/subscriptions/"+created.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT one: got %d, want 405", resp.StatusCode)
+	}
+}

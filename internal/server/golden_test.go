@@ -38,6 +38,10 @@ const metricsGolden = `{
   },
   "distributed_runs": 7,
   "distributed_fallbacks": 1,
+  "sse_streams": 6,
+  "sse_active": 2,
+  "bulk_requests": 3,
+  "bulk_jobs": 12,
   "jobs": {
     "submitted": 30,
     "rejected": 4,
@@ -49,6 +53,20 @@ const metricsGolden = `{
     "expired": 3,
     "depth": 64,
     "workers": 8
+  },
+  "events": {
+    "published": 90,
+    "last_seq": 90,
+    "dropped": 5,
+    "subscribers": 2,
+    "ring_len": 90
+  },
+  "webhooks": {
+    "subscriptions": 1,
+    "delivered": 40,
+    "retries": 3,
+    "failed": 1,
+    "dropped": 2
   },
   "cluster": {
     "workers": 2,
@@ -107,9 +125,19 @@ func TestMetricsSnapshotGoldenShape(t *testing.T) {
 		Latency:              LatencyQuantile{Count: 80, P50: 1.5, P99: 9.75},
 		DistributedRuns:      7,
 		DistributedFallbacks: 1,
+		SSEStreams:           6,
+		SSEActive:            2,
+		BulkRequests:         3,
+		BulkJobs:             12,
 		Jobs: batch.Stats{
 			Submitted: 30, Rejected: 4, Queued: 2, Running: 1,
 			Done: 25, Failed: 2, Canceled: 1, Expired: 3, Depth: 64, Workers: 8,
+		},
+		Events: batch.EventStats{
+			Published: 90, LastSeq: 90, Dropped: 5, Subscribers: 2, RingLen: 90,
+		},
+		Webhooks: WebhookMetrics{
+			Subscriptions: 1, Delivered: 40, Retries: 3, Failed: 1, Dropped: 2,
 		},
 		Cluster: &shard.ClusterMetrics{
 			Workers: 2, IdleWorkers: 1, Runs: 7, RunErrors: 1,
@@ -162,7 +190,8 @@ func TestLiveMetricsServeGoldenKeys(t *testing.T) {
 			"cache_misses", "cache_hit_rate", "cache_entries", "cache_bytes",
 			"cache_oversize_rejects", "coalesced", "errors", "timeouts",
 			"tours_run", "in_flight", "latency_ms", "distributed_runs",
-			"distributed_fallbacks", "jobs":
+			"distributed_fallbacks", "sse_streams", "sse_active",
+			"bulk_requests", "bulk_jobs", "jobs", "events", "webhooks":
 			want = append(want, key)
 		}
 	}

@@ -61,7 +61,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	key := requestKey(req, g, names)
 	timeout := s.timeout(req)
-	job, err := s.jobs.Submit(func(ctx context.Context) ([]byte, error) {
+	job, err := s.jobs.SubmitLabeled(func(ctx context.Context) ([]byte, error) {
 		// The deadline starts when a worker picks the job up, not at
 		// submission: a job is not punished for waiting out a long queue.
 		ctx, cancel := context.WithTimeout(ctx, timeout)
@@ -72,7 +72,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// job worker pool is the compute bound here.
 		body, _, _, err := s.computeCached(ctx, key, req, g, names, nil)
 		return body, err
-	})
+	}, req.Labels...)
 	if err != nil {
 		if errors.Is(err, batch.ErrQueueFull) {
 			// The hint is derived from the queue stats — backlog and
@@ -156,6 +156,10 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 // handleJob serves GET (poll) and DELETE (cancel) on /jobs/{id}.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if base, ok := strings.CutSuffix(id, "/events"); ok && base != "" && !strings.Contains(base, "/") {
+		s.handleJobEvents(w, r, base)
+		return
+	}
 	if id == "" || strings.Contains(id, "/") {
 		s.httpError(w, http.StatusNotFound, "want /jobs/{id}")
 		return

@@ -48,7 +48,13 @@ type Request struct {
 	// byte-identical to the in-process one — so, like Workers and
 	// Timeout, it is excluded from the cache key.
 	Distributed bool
-	Timeout     time.Duration // 0 = server default
+	// Labels are the job's topics on the async paths (/jobs, /jobs/bulk):
+	// every event the job publishes carries them, so topic subscribers
+	// (GET /events?topic=, webhook subscriptions) see it. They never
+	// influence the computation or its body, so — like Timeout — they are
+	// excluded from the cache key. Ignored by the synchronous /layer.
+	Labels  []string
+	Timeout time.Duration // 0 = server default
 }
 
 // DefaultRequest returns the request every unset parameter falls back to.
@@ -123,6 +129,18 @@ func ParseRequest(q url.Values) (Request, error) {
 			}
 		case "distributed":
 			req.Distributed, err = strconv.ParseBool(v)
+		case "label":
+			// Repeatable: every value becomes a topic. Bounded so a
+			// hostile request cannot pin unbounded label bytes to a job.
+			for _, l := range vals {
+				if l == "" || len(l) > 64 {
+					return req, fmt.Errorf("query parameter label=%q: want 1-64 characters", l)
+				}
+			}
+			if len(vals) > 8 {
+				return req, fmt.Errorf("query parameter label: at most 8 labels per job, got %d", len(vals))
+			}
+			req.Labels = vals
 		case "timeout-ms":
 			var ms int64
 			ms, err = strconv.ParseInt(v, 10, 64)

@@ -33,6 +33,10 @@ type serverMetrics struct {
 	inFlight      atomic.Int64 // /layer requests currently being computed
 	distRuns      atomic.Int64 // island runs served by the worker fleet
 	distFallbacks atomic.Int64 // distributed requests computed in-process (no workers)
+	sseStreams    atomic.Int64 // SSE streams opened (per-job and firehose)
+	sseActive     atomic.Int64 // SSE streams currently connected (gauge)
+	bulkRequests  atomic.Int64 // POST /jobs/bulk requests
+	bulkJobs      atomic.Int64 // jobs admitted through /jobs/bulk lines
 
 	mu       sync.Mutex
 	latRing  [latencyWindow]time.Duration // recent /layer latencies
@@ -111,10 +115,23 @@ type MetricsSnapshot struct {
 	// correctness).
 	DistributedRuns      int64 `json:"distributed_runs"`
 	DistributedFallbacks int64 `json:"distributed_fallbacks"`
+	// SSEStreams counts event streams opened over the daemon's lifetime;
+	// SSEActive is the currently-connected gauge. BulkRequests counts
+	// POST /jobs/bulk calls; BulkJobs the jobs their lines admitted.
+	SSEStreams   int64 `json:"sse_streams"`
+	SSEActive    int64 `json:"sse_active"`
+	BulkRequests int64 `json:"bulk_requests"`
+	BulkJobs     int64 `json:"bulk_jobs"`
 	// Jobs summarises the async /jobs queue: submitted/rejected totals,
 	// the queued/running gauges (queue depth is the queued gauge against
 	// the depth bound), and per-outcome counters.
 	Jobs batch.Stats `json:"jobs"`
+	// Events summarises the push layer: transitions published, the newest
+	// sequence number, subscriber-side drops, and the replay ring.
+	Events batch.EventStats `json:"events"`
+	// Webhooks summarises registered webhook subscriptions and their
+	// delivery counters.
+	Webhooks WebhookMetrics `json:"webhooks"`
 	// Cluster is the shard coordinator's snapshot — fleet size, runs,
 	// epochs, migrations, per-shard epoch latency. Present only on a
 	// coordinator daemon.
@@ -128,7 +145,7 @@ type LatencyQuantile struct {
 	P99   float64 `json:"p99"`
 }
 
-func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, jobs batch.Stats, cluster *shard.ClusterMetrics) MetricsSnapshot {
+func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, jobs batch.Stats, events batch.EventStats, webhooks WebhookMetrics, cluster *shard.ClusterMetrics) MetricsSnapshot {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -153,7 +170,13 @@ func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int
 		Latency:              LatencyQuantile{Count: count, P50: p50, P99: p99},
 		DistributedRuns:      m.distRuns.Load(),
 		DistributedFallbacks: m.distFallbacks.Load(),
+		SSEStreams:           m.sseStreams.Load(),
+		SSEActive:            m.sseActive.Load(),
+		BulkRequests:         m.bulkRequests.Load(),
+		BulkJobs:             m.bulkJobs.Load(),
 		Jobs:                 jobs,
+		Events:               events,
+		Webhooks:             webhooks,
 		Cluster:              cluster,
 	}
 }

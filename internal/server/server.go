@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -89,6 +90,22 @@ type Config struct {
 	// than this (a retention sweep runs in the background). 0 keeps jobs
 	// until the count bound evicts them.
 	JobExpiry time.Duration
+	// EventRing bounds how many job state transitions the event layer
+	// retains for SSE replay after a reconnect (Last-Event-ID). 0 means
+	// 1024.
+	EventRing int
+	// SSEHeartbeat is the interval between comment heartbeats on idle
+	// event streams, keeping proxies from reaping the connection.
+	// Default 15s.
+	SSEHeartbeat time.Duration
+	// WebhookRetries bounds delivery attempts per webhook event (the
+	// first try plus retries). 0 means 4.
+	WebhookRetries int
+	// WebhookRetryBase seeds the webhook retry backoff schedule (the
+	// worker-reconnect schedule: attempt k waits base<<k, jittered
+	// deterministically, capped at WebhookRetryMax). Defaults 100ms / 5s.
+	WebhookRetryBase time.Duration
+	WebhookRetryMax  time.Duration
 	// FaultComputeDelay is a test-only fault hook: every computation (a
 	// /layer miss or a job picked up by a worker) sleeps this long before
 	// running the colony. The chaos harness uses it to make latency and
@@ -140,22 +157,43 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = 256
 	}
+	if c.EventRing <= 0 {
+		c.EventRing = 1024
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
+	if c.WebhookRetries <= 0 {
+		c.WebhookRetries = 4
+	}
+	if c.WebhookRetryBase <= 0 {
+		c.WebhookRetryBase = 100 * time.Millisecond
+	}
+	if c.WebhookRetryMax <= 0 {
+		c.WebhookRetryMax = 5 * time.Second
+	}
 	return c
 }
 
 // Server is the layering daemon. Create with New, mount via Handler, or
 // run with Serve/ListenAndServe.
 type Server struct {
-	cfg     Config
-	cache   *resultCache
-	flights *flightGroup
-	metrics *serverMetrics
-	jobs    *batch.Queue
-	sem     chan struct{}
-	mux     *http.ServeMux
+	cfg      Config
+	cache    *resultCache
+	flights  *flightGroup
+	metrics  *serverMetrics
+	jobs     *batch.Queue
+	webhooks *webhookManager
+	sem      chan struct{}
+	mux      *http.ServeMux
 	// shuttingDown flips when Serve begins graceful shutdown, so aborted
 	// in-flight requests are answered 503 rather than blamed on the client.
 	shuttingDown atomic.Bool
+	// shutdownCh is closed (once) when shutdown begins, so long-lived SSE
+	// streams end promptly with a shutdown frame instead of riding out
+	// their heartbeat interval against a dying listener.
+	shutdownCh   chan struct{}
+	shutdownOnce sync.Once
 }
 
 // New builds a Server from cfg (zero value fine; see Config).
@@ -171,25 +209,34 @@ func New(cfg Config) *Server {
 			Depth:       cfg.JobQueueDepth,
 			Retain:      cfg.JobRetention,
 			ExpireAfter: cfg.JobExpiry,
+			EventRing:   cfg.EventRing,
 		}),
-		sem: make(chan struct{}, cfg.MaxConcurrent),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		shutdownCh: make(chan struct{}),
 	}
+	s.webhooks = newWebhookManager(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/layer", s.handleLayer)
 	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/bulk", s.handleBulk)
 	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/subscriptions", s.handleSubscriptions)
+	s.mux.HandleFunc("/subscriptions/", s.handleSubscription)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/cluster", s.handleCluster)
 	return s
 }
 
-// Close releases the server's background resources — today the job
-// queue's worker pool, cancelling whatever is queued or running. Serve
-// calls it during graceful shutdown; call it directly when using Handler
-// without Serve.
+// Close releases the server's background resources — the job queue's
+// worker pool (cancelling whatever is queued or running), the webhook
+// delivery goroutines, and every open SSE stream. Serve calls it during
+// graceful shutdown; call it directly when using Handler without Serve.
 func (s *Server) Close() {
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
 	s.jobs.Close()
+	s.webhooks.Close()
 }
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).
@@ -223,6 +270,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	s.shuttingDown.Store(true)
+	// End the SSE streams first: Shutdown waits for in-flight requests,
+	// and an event stream is in flight until told to stop.
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	err := hs.Shutdown(sctx)
@@ -253,7 +303,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		cluster = &cm
 	}
 	cacheBytes, cacheOversize := s.cache.Bytes()
-	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, s.jobs.Stats(), cluster)
+	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, s.jobs.Stats(), s.jobs.Events().Stats(), s.webhooks.Metrics(), cluster)
 }
 
 func (s *Server) logf(format string, args ...any) {
