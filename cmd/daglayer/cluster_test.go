@@ -346,8 +346,11 @@ func buildDaglayer(t *testing.T) string {
 }
 
 var (
-	serveAddrRE = regexp.MustCompile(`(?m)^daglayer: .*\blistening on (\S+)$`)
-	coordAddrRE = regexp.MustCompile(`coordinator listening on (\S+)$`)
+	// The daemon announces its listen addresses via slog (text handler):
+	// msg=listening for HTTP, msg="coordinator listening" for the shard
+	// transport, each with the address as the addr attr.
+	serveAddrRE = regexp.MustCompile(`\bmsg=listening addr=(\S+)`)
+	coordAddrRE = regexp.MustCompile(`\bmsg="coordinator listening" addr=(\S+)`)
 )
 
 // scanServeAddrs reads the daemon's stdout until both the HTTP and the

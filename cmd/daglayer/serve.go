@@ -5,10 +5,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"time"
 
+	"antlayer/internal/obs"
 	"antlayer/internal/server"
 	"antlayer/internal/shard"
 )
@@ -40,6 +40,11 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		secret      = fs.String("cluster-secret", "", "shared secret workers must present to register (empty = open cluster)")
 		faultDelay  = fs.Duration("fault-compute-delay", 0, "TESTING ONLY: add this delay to every computation, simulating a slow backend for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-request logging")
+		logLevel    = fs.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat   = fs.String("log-format", "text", "log line format: text|json")
+		traceRing   = fs.Int("trace-ring", 0, "recent request traces retained for GET /traces (0 = default 256)")
+		traceSlow   = fs.Int("trace-slowest", 0, "slowest traces additionally retained past the ring (0 = default 32, negative disables)")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `usage: daglayer serve [flags]
@@ -76,6 +81,11 @@ Runs the layering HTTP daemon:
                      counts, event/webhook delivery, cluster
                      epochs/migrations
   GET    /cluster    the shard coordinator's fleet (coordinator only)
+  GET    /traces     retained request traces, slowest first
+                     (?limit=N&min_ms=D); every /layer and /jobs answer
+                     echoes X-Request-ID, and GET /traces/{id} breaks the
+                     request into spans — parse, cache, queue, cluster
+                     admission, per-worker epochs
 
 With -coordinator the daemon also owns a distributed archipelago: worker
 processes ('daglayer worker -coordinator host:port') register on that
@@ -110,9 +120,16 @@ flags:
 		SSEHeartbeat:      *sseHeart,
 		WebhookRetries:    *whRetries,
 		FaultComputeDelay: *faultDelay,
+		TraceRing:         *traceRing,
+		TraceSlowest:      *traceSlow,
+		EnablePprof:       *pprofOn,
 	}
 	if !*quiet {
-		cfg.Log = log.New(stdout, "daglayer: ", log.LstdFlags)
+		logger, err := obs.NewLogger(stdout, *logLevel, *logFormat)
+		if err != nil {
+			return err
+		}
+		cfg.Log = logger
 	}
 	if *coordinator != "" {
 		// The coordinator listens on its own port with its own accept
@@ -130,7 +147,7 @@ flags:
 			return fmt.Errorf("coordinator: %w", err)
 		}
 		if cfg.Log != nil {
-			cfg.Log.Printf("coordinator listening on %s", ln.Addr())
+			cfg.Log.Info("coordinator listening", "addr", ln.Addr().String())
 		}
 		coordErr := make(chan error, 1)
 		go func() { coordErr <- coord.Serve(ctx, ln) }()

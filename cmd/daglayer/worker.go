@@ -5,10 +5,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
+	"antlayer/internal/obs"
 	"antlayer/internal/shard"
 )
 
@@ -67,7 +68,10 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // session and returns when the connection is lost; sleep waits out the
 // backoff delay (or reports the context died). A zero or negative base
 // disables retrying — the first connection error is returned as-is.
-func workerLoop(ctx context.Context, coordinator string, run func(context.Context) error, b *reconnectBackoff, sleep func(context.Context, time.Duration) bool, logger *log.Logger) error {
+func workerLoop(ctx context.Context, coordinator string, run func(context.Context) error, b *reconnectBackoff, sleep func(context.Context, time.Duration) bool, logger *slog.Logger) error {
+	if logger == nil {
+		logger = obs.Discard()
+	}
 	for {
 		err := run(ctx)
 		if ctx.Err() != nil {
@@ -77,9 +81,8 @@ func workerLoop(ctx context.Context, coordinator string, run func(context.Contex
 			return err
 		}
 		d := b.next()
-		if logger != nil {
-			logger.Printf("connection to %s lost (%v); retrying in %s", coordinator, err, d)
-		}
+		logger.Warn("connection lost; retrying",
+			"coordinator", coordinator, "err", err, "backoff", d)
 		if !sleep(ctx, d) {
 			return nil
 		}
@@ -102,6 +105,8 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 		secret      = fs.String("cluster-secret", "", "shared secret to present at registration (must match the coordinator's -cluster-secret)")
 		faultDelay  = fs.Duration("fault-epoch-delay", 0, "TESTING ONLY: sleep this long every epoch, simulating a slow worker for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-run logging")
+		logLevel    = fs.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat   = fs.String("log-format", "text", "log line format: text|json")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `usage: daglayer worker -coordinator host:port [flags]
@@ -123,9 +128,13 @@ flags:
 		fs.Usage()
 		return fmt.Errorf("worker: -coordinator is required")
 	}
-	var logger *log.Logger
+	var logger *slog.Logger
 	if !*quiet {
-		logger = log.New(stdout, "daglayer worker: ", log.LstdFlags)
+		lg, err := obs.NewLogger(stdout, *logLevel, *logFormat)
+		if err != nil {
+			return err
+		}
+		logger = lg
 	}
 	b := &reconnectBackoff{base: *retry, max: *retryMax}
 	if b.max < b.base {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"antlayer/internal/chaos"
+	"antlayer/internal/obs"
 )
 
 func main() {
@@ -57,6 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		duration = fs.Duration("duration", 10*time.Second, "raw load mode: how long to drive")
 		mixFlag  = fs.String("mix", "hot=3,cold=1,jobs=1", "raw load mode: traffic weights hot,cold,distributed,jobs,events,oversize")
 		seed     = fs.Int64("seed", 1, "raw load mode: generator seed")
+		slowest  = fs.Int("trace-slowest", 0, "raw load mode: after the run, fetch /traces and print the N slowest traces' span breakdowns")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: loadgen -scenario {name|fast|all} [flags]
@@ -90,7 +93,7 @@ flags:
 	}
 
 	if *addr != "" {
-		return rawLoad(ctx, logger, stdout, *addr, *rps, *duration, *mixFlag, *seed)
+		return rawLoad(ctx, logger, stdout, *addr, *rps, *duration, *mixFlag, *seed, *slowest)
 	}
 
 	if *scenario == "" {
@@ -172,6 +175,10 @@ func printSummary(w io.Writer, s chaos.Summary) {
 		for _, p := range r.Phases {
 			fmt.Fprintf(w, "  %-10s %5d req  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  err %.3f  %s\n",
 				p.Name, p.Requests, p.P50Ms, p.P95Ms, p.P99Ms, p.ErrorRate, passFail(p.Pass))
+			if p.SlowestTrace != nil {
+				fmt.Fprintf(w, "  slowest %s-phase trace:\n", p.Name)
+				printTrace(w, *p.SlowestTrace)
+			}
 		}
 		if r.RecoverySeconds >= 0 {
 			fmt.Fprintf(w, "  recovered in %.1fs\n", r.RecoverySeconds)
@@ -196,7 +203,7 @@ func passFail(ok bool) string {
 // rawLoad is the scenario-less mode: drive an already-running daemon and
 // print one phase report (no SLO gate — this is for eyeballing a live
 // instance, not for CI).
-func rawLoad(ctx context.Context, logger *log.Logger, stdout io.Writer, addr string, rps float64, d time.Duration, mixFlag string, seed int64) int {
+func rawLoad(ctx context.Context, logger *log.Logger, stdout io.Writer, addr string, rps float64, d time.Duration, mixFlag string, seed int64, slowest int) int {
 	mix, err := parseMix(mixFlag)
 	if err != nil {
 		logger.Printf("bad -mix: %v", err)
@@ -212,7 +219,62 @@ func rawLoad(ctx context.Context, logger *log.Logger, stdout io.Writer, addr str
 		return 2
 	}
 	fmt.Fprintf(stdout, "%s\n", data)
+	if slowest > 0 {
+		views, err := fetchSlowestTraces(ctx, addr, slowest)
+		if err != nil {
+			logger.Printf("fetching slowest traces: %v", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "slowest %d trace(s):\n", len(views))
+		for _, tv := range views {
+			printTrace(stdout, tv)
+		}
+	}
 	return 0
+}
+
+// fetchSlowestTraces pulls the daemon's slowest-first trace list.
+func fetchSlowestTraces(ctx context.Context, addr string, n int) ([]obs.TraceView, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	url := fmt.Sprintf("%s/traces?limit=%d", strings.TrimSuffix(addr, "/"), n)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var body struct {
+		Traces []obs.TraceView `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Traces, nil
+}
+
+// printTrace renders one trace's span breakdown: where the request's
+// wall-clock went, span by span, workers and epochs called out.
+func printTrace(w io.Writer, tv obs.TraceView) {
+	fmt.Fprintf(w, "  trace %s  %.1fms  (%d spans", tv.ID, tv.DurMS, len(tv.Spans))
+	if tv.Dropped > 0 {
+		fmt.Fprintf(w, ", %d dropped", tv.Dropped)
+	}
+	fmt.Fprintf(w, ")\n")
+	for _, sp := range tv.Spans {
+		tag := sp.Name
+		if sp.Worker != "" {
+			tag = fmt.Sprintf("%s[%s#%d]", sp.Name, sp.Worker, sp.Epoch)
+		}
+		fmt.Fprintf(w, "    %-28s +%8.2fms  %8.2fms\n",
+			tag, float64(sp.StartUS)/1e3, float64(sp.DurUS)/1e3)
+	}
 }
 
 // parseMix decodes "hot=3,cold=1,jobs=1" into weights.

@@ -102,10 +102,11 @@ func (c Config) withDefaults() Config {
 // Job is one unit of work owned by a Queue. All accessors return
 // consistent snapshots; Wait blocks until the job is terminal.
 type Job struct {
-	id     string
-	seq    uint64 // submission order; List sorts by it (ids zero-pad out at 10^6)
-	fn     Func
-	labels []string // topics; immutable after Submit
+	id      string
+	seq     uint64 // submission order; List sorts by it (ids zero-pad out at 10^6)
+	fn      Func
+	labels  []string // topics; immutable after Submit
+	traceID string   // request trace the job belongs to; immutable after Submit
 
 	mu        sync.Mutex
 	state     State
@@ -136,7 +137,11 @@ type Snapshot struct {
 	// the work itself.
 	Canceled bool
 	// Labels are the job's topics (see SubmitLabeled).
-	Labels    []string
+	Labels []string
+	// TraceID names the request trace the job belongs to (see
+	// SubmitTraced); the daemon echoes it on job envelopes so a polled
+	// job can be joined with its /traces entry.
+	TraceID   string
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
@@ -153,6 +158,7 @@ func (j *Job) Snapshot() Snapshot {
 		Err:       j.err,
 		Canceled:  j.canceled,
 		Labels:    j.labels,
+		TraceID:   j.traceID,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
@@ -322,6 +328,14 @@ func (q *Queue) Submit(fn Func) (*Job, error) {
 // /events?topic= stream, a webhook subscription) see it. Labels do not
 // influence the work or its result.
 func (q *Queue) SubmitLabeled(fn Func, labels ...string) (*Job, error) {
+	return q.SubmitTraced(fn, "", labels...)
+}
+
+// SubmitTraced is SubmitLabeled with a request trace ID attached: the
+// daemon's /jobs handler passes the trace it opened for the submission
+// so the job's envelope can point back at GET /traces/{id}. Like
+// labels, the trace ID never influences the work or its result.
+func (q *Queue) SubmitTraced(fn Func, traceID string, labels ...string) (*Job, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -342,6 +356,7 @@ func (q *Queue) SubmitLabeled(fn Func, labels ...string) (*Job, error) {
 		seq:       q.seq,
 		fn:        fn,
 		labels:    labels,
+		traceID:   traceID,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),

@@ -49,13 +49,16 @@ func TestMixPickDeterministicAndWeighted(t *testing.T) {
 func TestBuildPhaseReportSLO(t *testing.T) {
 	s := newSampleSet()
 	for i := 0; i < 96; i++ {
-		s.record(10, "ok")
+		s.record(10, "ok", "")
 	}
-	s.record(5000, "timeout")
-	s.record(12, "429")
-	s.record(12, "429")
-	s.record(12, "429")
+	s.record(5000, "timeout", "t-slow")
+	s.record(12, "429", "")
+	s.record(12, "429", "")
+	s.record(12, "429", "")
 	// 100 samples: 96 ok, 1 timeout (unexpected), 3 tolerated 429s.
+	if id, ms := s.SlowestTrace(); id != "t-slow" || ms != 5000 {
+		t.Errorf("SlowestTrace() = (%q, %v), want (t-slow, 5000)", id, ms)
+	}
 	pr := buildPhaseReport("inject", 3.0, s, []string{"429"}, SLO{MaxP99Ms: 100, MaxErrorRate: 0.02, MinRequests: 50}, -1)
 	if pr.Requests != 100 {
 		t.Fatalf("requests = %d, want 100", pr.Requests)

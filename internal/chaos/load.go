@@ -85,17 +85,30 @@ type SampleSet struct {
 	latencies []float64
 	classes   map[string]int64
 	shed      int64
+	slowMS    float64
+	slowTrace string
 }
 
 func newSampleSet() *SampleSet {
 	return &SampleSet{classes: make(map[string]int64)}
 }
 
-func (s *SampleSet) record(ms float64, class string) {
+func (s *SampleSet) record(ms float64, class, traceID string) {
 	s.mu.Lock()
 	s.latencies = append(s.latencies, ms)
 	s.classes[class]++
+	if traceID != "" && ms > s.slowMS {
+		s.slowMS, s.slowTrace = ms, traceID
+	}
 	s.mu.Unlock()
+}
+
+// SlowestTrace returns the trace ID of the slowest traced request this
+// set saw and its latency; empty when no sampled request carried one.
+func (s *SampleSet) SlowestTrace() (id string, ms float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slowTrace, s.slowMS
 }
 
 func (s *SampleSet) recordShed() {
@@ -209,18 +222,18 @@ loop:
 // one issues a single request drawn from the mix and records its outcome.
 func (g *Generator) one(ctx context.Context, rng *rand.Rand, mix Mix, s *SampleSet) {
 	start := time.Now()
-	var class string
+	var class, trace string
 	switch mix.pick(rng) {
 	case "hot":
-		class = g.postLayer(ctx, "algo=aco&tours=2&seed=1", loadDOT)
+		class, trace = g.postLayer(ctx, "algo=aco&tours=2&seed=1", loadDOT)
 	case "cold":
-		class = g.postLayer(ctx, fmt.Sprintf("algo=aco&tours=2&seed=%d", 1000+g.coldSeq.Add(1)), loadDOT)
+		class, trace = g.postLayer(ctx, fmt.Sprintf("algo=aco&tours=2&seed=%d", 1000+g.coldSeq.Add(1)), loadDOT)
 	case "dist":
 		// Mixed K: islands 2..4, so on a 4-worker fleet some runs lease a
 		// strict subset and the scheduler can overlap them. The draw comes
 		// from the worker's deterministic rng, so a scenario replays the
 		// same K sequence per worker.
-		class = g.postLayer(ctx, fmt.Sprintf("algo=island&islands=%d&tours=2&migration-interval=1&distributed=true&seed=%d", 2+rng.Intn(3), 1000+g.coldSeq.Add(1)), loadDOT)
+		class, trace = g.postLayer(ctx, fmt.Sprintf("algo=island&islands=%d&tours=2&migration-interval=1&distributed=true&seed=%d", 2+rng.Intn(3), 1000+g.coldSeq.Add(1)), loadDOT)
 	case "jobs":
 		class = g.oneJob(ctx, rng)
 	case "events":
@@ -228,7 +241,7 @@ func (g *Generator) one(ctx context.Context, rng *rand.Rand, mix Mix, s *SampleS
 	case "over":
 		class = g.postOversize(ctx)
 	}
-	s.record(float64(time.Since(start).Nanoseconds())/1e6, class)
+	s.record(float64(time.Since(start).Nanoseconds())/1e6, class, trace)
 }
 
 // classify maps a completed HTTP exchange to an outcome class.
@@ -264,15 +277,21 @@ func classify(resp *http.Response, err error) string {
 	}
 }
 
-func (g *Generator) postLayer(ctx context.Context, query, body string) string {
+// postLayer posts one /layer request; alongside the outcome class it
+// returns the daemon-echoed X-Request-ID so the slowest request of a
+// phase can be looked up in GET /traces/{id} afterwards.
+func (g *Generator) postLayer(ctx context.Context, query, body string) (class, traceID string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.BaseURL+"/layer?"+query, strings.NewReader(body))
 	if err != nil {
-		return "conn"
+		return "conn", ""
 	}
 	resp, err := g.Client.Do(req)
-	class := classify(resp, err)
+	class = classify(resp, err)
+	if resp != nil {
+		traceID = resp.Header.Get("X-Request-ID")
+	}
 	drain(resp)
-	return class
+	return class, traceID
 }
 
 // postOversize posts a body built to exceed the daemon's -max-body bound.

@@ -17,6 +17,8 @@ package chaos
 import (
 	"fmt"
 	"sort"
+
+	"antlayer/internal/obs"
 )
 
 // SLO is the per-phase service-level objective. Zero-valued bounds are
@@ -63,6 +65,11 @@ type PhaseReport struct {
 	// or no cacheable traffic).
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	SLO          SLO     `json:"slo"`
+	// SlowestTrace is the span breakdown of the phase's slowest traced
+	// request, fetched from GET /traces/{id} — attached to the recovery
+	// phase so an SLO miss is self-diagnosing (where did the time go:
+	// queue, lease, a slow worker epoch?).
+	SlowestTrace *obs.TraceView `json:"slowest_trace,omitempty"`
 	// Violations lists every SLO bound this phase broke, empty on pass.
 	Violations []string `json:"violations,omitempty"`
 	Pass       bool     `json:"pass"`

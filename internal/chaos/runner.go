@@ -3,12 +3,15 @@ package chaos
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"strings"
 	"time"
+
+	"antlayer/internal/obs"
 )
 
 // RunOptions configures a scenario run.
@@ -183,6 +186,16 @@ func Run(ctx context.Context, sc Scenario, opt RunOptions) (*Report, error) {
 
 		pr := buildPhaseReport(ph.Name, seconds, samples, ph.Expected, ph.SLO, hitRate)
 		if ph.Name == "recovery" {
+			// The self-diagnosis hook: pull the span breakdown of the
+			// phase's slowest traced request, so a recovery-phase SLO miss
+			// ships with where the time went instead of just a number.
+			if id, ms := samples.SlowestTrace(); id != "" {
+				if tv, err := fetchTrace(ctx, cluster.BaseURL, id); err == nil {
+					pr.SlowestTrace = tv
+				} else {
+					opt.logf("%s: slowest recovery trace %s (%.1fms) unavailable: %v", sc.Name, id, ms, err)
+				}
+			}
 			if d := <-healthyAt; d >= 0 {
 				report.RecoverySeconds = d.Seconds()
 				if ph.SLO.MaxRecoverySeconds > 0 && d.Seconds() > ph.SLO.MaxRecoverySeconds*stretch {
@@ -237,6 +250,29 @@ func verdict(pass bool) string {
 		return "PASS"
 	}
 	return "FAIL"
+}
+
+// fetchTrace pulls one trace's span breakdown from the daemon.
+func fetchTrace(ctx context.Context, baseURL, id string) (*obs.TraceView, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/traces/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace %s: status %d", id, resp.StatusCode)
+	}
+	var tv obs.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		return nil, err
+	}
+	return &tv, nil
 }
 
 // postProbe issues the byte-identical check's request with generous

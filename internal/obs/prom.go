@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// Prom writes the Prometheus text exposition format (version 0.0.4) by
+// hand — the daemon takes no dependencies, and the format is three line
+// shapes. Errors are sticky: callers emit the whole page and check Err
+// once.
+//
+//	p := obs.NewProm(w)
+//	p.Family("daglayer_requests_total", "counter", "HTTP requests served.")
+//	p.Value("daglayer_requests_total", float64(n))
+//	p.ValueL("daglayer_worker_epochs_total", float64(e), "worker", name)
+type Prom struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewProm returns a writer emitting to w.
+func NewProm(w io.Writer) *Prom {
+	return &Prom{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) flush() {
+	if p.err == nil {
+		_, p.err = p.w.Write(p.buf)
+	}
+	p.buf = p.buf[:0]
+}
+
+// Family declares a metric family: a # HELP line and a # TYPE line.
+// kind is counter, gauge, summary, or histogram. Call once per family,
+// immediately before its samples.
+func (p *Prom) Family(name, kind, help string) {
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = appendEscaped(p.buf, help, false)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, kind...)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// Value emits an unlabeled sample.
+func (p *Prom) Value(name string, v float64) {
+	p.ValueL(name, v)
+}
+
+// ValueL emits a sample with labels given as alternating key, value
+// strings.
+func (p *Prom) ValueL(name string, v float64, labels ...string) {
+	p.buf = append(p.buf, name...)
+	if len(labels) > 0 {
+		p.buf = append(p.buf, '{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				p.buf = append(p.buf, ',')
+			}
+			p.buf = append(p.buf, labels[i]...)
+			p.buf = append(p.buf, '=', '"')
+			p.buf = appendEscaped(p.buf, labels[i+1], true)
+			p.buf = append(p.buf, '"')
+		}
+		p.buf = append(p.buf, '}')
+	}
+	p.buf = append(p.buf, ' ')
+	p.buf = appendFloat(p.buf, v)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// appendFloat renders v the way Prometheus clients do: integers bare,
+// everything else in shortest-round-trip form.
+func appendFloat(b []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendEscaped escapes backslash and newline; label values (quoted)
+// additionally escape double quotes.
+func appendEscaped(b []byte, s string, label bool) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '"':
+			if label {
+				b = append(b, '\\', '"')
+			} else {
+				b = append(b, c)
+			}
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}

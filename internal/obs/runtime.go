@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeStats is the Go-runtime slice of the metrics snapshot:
+// goroutine count plus the heap and GC gauges an operator reaches for
+// when a latency spike might be allocation pressure rather than queue
+// wait. Field names are part of the /metrics JSON contract.
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	NextGCBytes    uint64  `json:"next_gc_bytes"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+}
+
+// ReadRuntime samples the runtime. ReadMemStats stops the world for
+// microseconds; /metrics is polled, not hot.
+func ReadRuntime() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: m.HeapAlloc,
+		HeapSysBytes:   m.HeapSys,
+		HeapObjects:    m.HeapObjects,
+		NextGCBytes:    m.NextGC,
+		GCCycles:       m.NumGC,
+		GCPauseTotalMS: float64(m.PauseTotalNs) / float64(time.Millisecond),
+	}
+}

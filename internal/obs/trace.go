@@ -1,0 +1,267 @@
+// Package obs is the daemon's dependency-free observability kit: request
+// traces with bounded in-memory retention, a hand-rolled Prometheus text
+// writer, runtime gauges, and slog construction shared by the CLIs
+// (DESIGN.md §14).
+//
+// A Trace is a fixed-capacity span buffer created once per request (or
+// batch job) and threaded through the stack by context. Recording a span
+// on an existing trace never allocates — the hot path (cache hits on
+// /layer) pays two mutex operations and two monotonic clock reads per
+// span, nothing else. Every method is safe on a nil *Trace so untraced
+// call sites need no guards.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// MaxSpans bounds the spans one trace retains. A 4-worker, 10-epoch
+// distributed run produces ~65 spans (per-worker per-epoch plus
+// coordinator barriers); 128 leaves headroom without making the ring
+// expensive. Beyond it spans are counted, not stored.
+const MaxSpans = 128
+
+// Span is one timed region of a trace. Offsets are relative to the
+// trace start in microseconds — small enough to read raw, precise
+// enough for sub-millisecond server spans — so spans serialize
+// compactly in report frames and /traces bodies.
+type Span struct {
+	// Name is the span's slot in the taxonomy (DESIGN.md §14): parse,
+	// cache_lookup, coalesce_wait, queue_wait, compute, render,
+	// admission, lease, epoch, migrate, assemble, worker_epoch.
+	Name string `json:"name"`
+	// Worker names the shard worker that measured the span; empty for
+	// coordinator- and server-side spans.
+	Worker string `json:"worker,omitempty"`
+	// Epoch is the 1-based epoch number for epoch/migrate/worker_epoch
+	// spans; 0 elsewhere.
+	Epoch int `json:"epoch,omitempty"`
+	// StartUS is the span's start offset from the trace start. Worker
+	// spans are rebased onto the coordinator clock at the run-frame
+	// dispatch offset, so cross-process offsets are approximate by one
+	// network hop.
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+}
+
+// Trace accumulates spans for one request. Create with Tracer.New (or
+// NewTrace for detached use, e.g. worker-side measurement); recording
+// is concurrency-safe and allocation-free.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu      sync.Mutex
+	n       int
+	dropped int
+	dur     time.Duration
+	done    bool
+	spans   [MaxSpans]Span
+
+	// Retention flags owned by the Tracer's lock, not mu.
+	inRing, inSlow bool
+}
+
+// NewTrace returns a detached trace (not registered with any Tracer)
+// whose clock starts now. id may be empty.
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID, or "" on a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's start time (zero on nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Since returns the elapsed offset from the trace start, the value to
+// pass to Observe for a span beginning now.
+func (t *Trace) Since() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Observe records a fully-formed span. start is the offset from the
+// trace start. Records beyond MaxSpans are counted as dropped.
+func (t *Trace) Observe(name, worker string, epoch int, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.n < MaxSpans {
+		t.spans[t.n] = Span{
+			Name:    name,
+			Worker:  worker,
+			Epoch:   epoch,
+			StartUS: start.Microseconds(),
+			DurUS:   dur.Microseconds(),
+		}
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// SpanHandle is an in-progress span. The zero handle (from a nil trace)
+// is inert.
+type SpanHandle struct {
+	t     *Trace
+	name  string
+	start time.Duration
+}
+
+// Begin opens a span named name starting now. End it to record;
+// abandoning the handle records nothing.
+func (t *Trace) Begin(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, start: time.Since(t.start)}
+}
+
+// End records the span opened by Begin.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.t.Observe(h.name, "", 0, h.start, time.Since(h.t.start)-h.start)
+}
+
+// Merge appends pre-measured spans (a worker's report) with their start
+// offsets shifted by rebase — the offset on this trace's clock at which
+// the remote clock started.
+func (t *Trace) Merge(spans []Span, rebase time.Duration) {
+	if t == nil {
+		return
+	}
+	shift := rebase.Microseconds()
+	t.mu.Lock()
+	for _, s := range spans {
+		if t.n >= MaxSpans {
+			t.dropped++
+			continue
+		}
+		s.StartUS += shift
+		t.spans[t.n] = s
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, t.n)
+	copy(out, t.spans[:t.n])
+	t.mu.Unlock()
+	return out
+}
+
+// Dropped returns how many spans were discarded for capacity.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// finish stamps the total duration once; later calls keep the first.
+func (t *Trace) finish() time.Duration {
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.dur = time.Since(t.start)
+	}
+	d := t.dur
+	t.mu.Unlock()
+	return d
+}
+
+// Duration returns the finished duration, or elapsed-so-far for a live
+// trace.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.dur
+	}
+	return time.Since(t.start)
+}
+
+// Finished reports whether the trace has been completed.
+func (t *Trace) Finished() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// NewID returns a fresh 16-hex-character trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a constant
+		// beats a panic in a telemetry path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidID reports whether s is acceptable as a caller-supplied trace ID
+// (X-Request-ID): 1–64 characters drawn from [A-Za-z0-9._-]. Anything
+// else is replaced with a generated ID rather than rejected.
+func ValidID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default retention bounds for NewTracer(0, 0).
+const (
+	DefaultRing    = 256
+	DefaultSlowest = 32
+)
+
+// Tracer owns trace retention: a bounded ring of the most recent traces
+// plus a slowest-N list that survives ring eviction, so a latency spike
+// stays inspectable after the ring has churned past it. Memory is
+// strictly bounded by (ring + slowest) × sizeof(Trace).
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	byID  map[string]*Trace
+	slow  []*Trace // sorted by duration descending, len ≤ slowN
+	slowN int
+}
+
+// NewTracer returns a tracer retaining the last ring traces and the
+// slowest slowest finished ones (0 picks the defaults; negative
+// disables that list).
+func NewTracer(ring, slowest int) *Tracer {
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	if slowest == 0 {
+		slowest = DefaultSlowest
+	}
+	if slowest < 0 {
+		slowest = 0
+	}
+	return &Tracer{
+		ring:  make([]*Trace, 0, ring),
+		byID:  make(map[string]*Trace, ring+slowest),
+		slowN: slowest,
+	}
+}
+
+// New creates and retains a trace. id is honored when it is a valid
+// caller-supplied ID (ValidID); otherwise a fresh ID is generated. The
+// trace is visible to Get/List immediately, before it finishes.
+func (tr *Tracer) New(id string) *Trace {
+	if !ValidID(id) {
+		id = NewID()
+	}
+	t := NewTrace(id)
+	tr.mu.Lock()
+	if cap(tr.ring) > len(tr.ring) {
+		tr.ring = append(tr.ring, t)
+	} else {
+		old := tr.ring[tr.next]
+		tr.ring[tr.next] = t
+		tr.next = (tr.next + 1) % cap(tr.ring)
+		old.inRing = false
+		tr.dropLocked(old)
+	}
+	t.inRing = true
+	tr.byID[id] = t
+	tr.mu.Unlock()
+	return t
+}
+
+// Finish stamps the trace's total duration and promotes it into the
+// slowest-N list if it qualifies. Safe on nil trace or tracer.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	d := t.finish()
+	if tr.slowN == 0 {
+		return
+	}
+	tr.mu.Lock()
+	if len(tr.slow) == tr.slowN && tr.slow[len(tr.slow)-1].Duration() >= d {
+		tr.mu.Unlock()
+		return
+	}
+	if t.inSlow {
+		tr.mu.Unlock()
+		return
+	}
+	t.inSlow = true
+	tr.slow = append(tr.slow, t)
+	sort.Slice(tr.slow, func(i, j int) bool {
+		return tr.slow[i].Duration() > tr.slow[j].Duration()
+	})
+	if len(tr.slow) > tr.slowN {
+		evicted := tr.slow[len(tr.slow)-1]
+		tr.slow = tr.slow[:len(tr.slow)-1]
+		evicted.inSlow = false
+		tr.dropLocked(evicted)
+	}
+	tr.mu.Unlock()
+}
+
+// dropLocked removes t from the ID index once no retention list holds
+// it. The pointer comparison keeps a newer trace that reused the same
+// caller-supplied ID from being unindexed by the older one's eviction.
+func (tr *Tracer) dropLocked(t *Trace) {
+	if !t.inRing && !t.inSlow && tr.byID[t.id] == t {
+		delete(tr.byID, t.id)
+	}
+}
+
+// Get returns the retained trace with the given ID.
+func (tr *Tracer) Get(id string) (*Trace, bool) {
+	if tr == nil {
+		return nil, false
+	}
+	tr.mu.Lock()
+	t, ok := tr.byID[id]
+	tr.mu.Unlock()
+	return t, ok
+}
+
+// TraceView is the JSON shape of one trace in /traces responses.
+type TraceView struct {
+	ID       string    `json:"id"`
+	Start    time.Time `json:"start"`
+	DurMS    float64   `json:"dur_ms"`
+	Finished bool      `json:"finished"`
+	Spans    []Span    `json:"spans"`
+	Dropped  int       `json:"dropped_spans,omitempty"`
+}
+
+// View snapshots a trace for serialization.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	v := TraceView{
+		ID:       t.id,
+		Start:    t.start,
+		Finished: t.done,
+		Spans:    make([]Span, t.n),
+		Dropped:  t.dropped,
+	}
+	copy(v.Spans, t.spans[:t.n])
+	dur := t.dur
+	if !t.done {
+		dur = time.Since(t.start)
+	}
+	t.mu.Unlock()
+	v.DurMS = float64(dur) / float64(time.Millisecond)
+	return v
+}
+
+// List returns up to limit retained traces at least min long, slowest
+// first (limit ≤ 0 means no cap). Live traces are ranked by their
+// elapsed time so a stuck request surfaces while still running.
+func (tr *Tracer) List(limit int, min time.Duration) []TraceView {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	seen := make(map[*Trace]bool, len(tr.ring)+len(tr.slow))
+	all := make([]*Trace, 0, len(tr.ring)+len(tr.slow))
+	for _, t := range tr.ring {
+		if !seen[t] {
+			seen[t] = true
+			all = append(all, t)
+		}
+	}
+	for _, t := range tr.slow {
+		if !seen[t] {
+			seen[t] = true
+			all = append(all, t)
+		}
+	}
+	tr.mu.Unlock()
+	views := make([]TraceView, 0, len(all))
+	for _, t := range all {
+		v := t.View()
+		if time.Duration(v.DurMS*float64(time.Millisecond)) >= min {
+			views = append(views, v)
+		}
+	}
+	sort.Slice(views, func(i, j int) bool {
+		if views[i].DurMS != views[j].DurMS {
+			return views[i].DurMS > views[j].DurMS
+		}
+		return views[i].ID < views[j].ID
+	})
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
+	}
+	return views
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"antlayer/internal/batch"
+	"antlayer/internal/obs"
 	"antlayer/internal/shard"
 )
 
@@ -101,6 +102,15 @@ const metricsGolden = `{
         "last_seen_age_ms": 120.5
       }
     ]
+  },
+  "runtime": {
+    "goroutines": 12,
+    "heap_alloc_bytes": 1048576,
+    "heap_sys_bytes": 4194304,
+    "heap_objects": 2048,
+    "next_gc_bytes": 2097152,
+    "gc_cycles": 3,
+    "gc_pause_total_ms": 0.75
   }
 }`
 
@@ -152,6 +162,11 @@ func TestMetricsSnapshotGoldenShape(t *testing.T) {
 				Heartbeats: 42, LastSeenAgeMs: 120.5,
 			}},
 		},
+		Runtime: obs.RuntimeStats{
+			Goroutines: 12, HeapAllocBytes: 1 << 20, HeapSysBytes: 4 << 20,
+			HeapObjects: 2048, NextGCBytes: 2 << 20, GCCycles: 3,
+			GCPauseTotalMS: 0.75,
+		},
 	}
 	got, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -191,7 +206,7 @@ func TestLiveMetricsServeGoldenKeys(t *testing.T) {
 			"cache_oversize_rejects", "coalesced", "errors", "timeouts",
 			"tours_run", "in_flight", "latency_ms", "distributed_runs",
 			"distributed_fallbacks", "sse_streams", "sse_active",
-			"bulk_requests", "bulk_jobs", "jobs", "events", "webhooks":
+			"bulk_requests", "bulk_jobs", "jobs", "events", "webhooks", "runtime":
 			want = append(want, key)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"antlayer/internal/batch"
+	"antlayer/internal/obs"
 	"antlayer/internal/shard"
 )
 
@@ -34,6 +35,9 @@ import (
 type jobStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+	// TraceID correlates the job with its request trace (GET /traces/{id});
+	// empty for jobs admitted through paths that do not mint traces.
+	TraceID string `json:"trace_id,omitempty"`
 	// Error is set for failed jobs. A cancellation reads
 	// "client closed request (499): ..." whether the job was still queued
 	// or already running.
@@ -55,16 +59,27 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusMethodNotAllowed, "POST a DOT or edge-list graph to /jobs (then poll GET /jobs/{id}), or GET /jobs to list")
 		return
 	}
+	// A job's trace spans its whole life: minted (or honored) at
+	// submission, finished when the job settles, so the queue wait is
+	// visible in the span breakdown.
+	tr := s.tracer.New(r.Header.Get("X-Request-ID"))
+	w.Header().Set("X-Request-ID", tr.ID())
+	parse := tr.Begin("parse")
 	req, g, names, ok := s.parseLayerHTTP(w, r)
+	parse.End()
 	if !ok {
+		s.tracer.Finish(tr)
 		return
 	}
 	key := requestKey(req, g, names)
 	timeout := s.timeout(req)
-	job, err := s.jobs.SubmitLabeled(func(ctx context.Context) ([]byte, error) {
+	enqueued := tr.Since()
+	job, err := s.jobs.SubmitTraced(func(ctx context.Context) ([]byte, error) {
+		defer s.tracer.Finish(tr)
+		tr.Observe("queue_wait", "", 0, enqueued, tr.Since()-enqueued)
 		// The deadline starts when a worker picks the job up, not at
 		// submission: a job is not punished for waiting out a long queue.
-		ctx, cancel := context.WithTimeout(ctx, timeout)
+		ctx, cancel := context.WithTimeout(obs.NewContext(ctx, tr), timeout)
 		defer cancel()
 		// The shared engine of handleLayer: identical jobs running at
 		// once — or a job identical to an in-flight /layer request —
@@ -72,8 +87,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// job worker pool is the compute bound here.
 		body, _, _, err := s.computeCached(ctx, key, req, g, names, nil)
 		return body, err
-	}, req.Labels...)
+	}, tr.ID(), req.Labels...)
 	if err != nil {
+		s.tracer.Finish(tr)
 		if errors.Is(err, batch.ErrQueueFull) {
 			// The hint is derived from the queue stats — backlog and
 			// running jobs over the worker pool — not a constant, so
@@ -86,11 +102,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, "job queue closed: %v", err)
 		return
 	}
-	s.logf("job submit %s n=%d m=%d algo=%s", job.ID(), g.N(), g.M(), req.Algo)
+	s.log().Info("job submitted",
+		"job", job.ID(), "trace", tr.ID(), "n", g.N(), "m", g.M(), "algo", string(req.Algo))
 	s.writeJobStatus(w, http.StatusAccepted, jobStatus{
-		ID:    job.ID(),
-		State: string(batch.StateQueued),
-		Poll:  "/jobs/" + job.ID(),
+		ID:      job.ID(),
+		State:   string(batch.StateQueued),
+		TraceID: tr.ID(),
+		Poll:    "/jobs/" + job.ID(),
 	})
 }
 
@@ -131,7 +149,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	list := jobList{Jobs: make([]jobListEntry, 0, len(snaps)), Stats: s.jobs.Stats()}
 	for _, snap := range snaps {
 		entry := jobListEntry{
-			jobStatus: jobStatus{ID: snap.ID, State: string(snap.State), Poll: "/jobs/" + snap.ID},
+			jobStatus: jobStatus{ID: snap.ID, State: string(snap.State), TraceID: snap.TraceID, Poll: "/jobs/" + snap.ID},
 			Submitted: snap.Submitted,
 		}
 		if !snap.Started.IsZero() {
@@ -193,7 +211,7 @@ func (s *Server) writeJobSnapshot(w http.ResponseWriter, snap batch.Snapshot) {
 		_, _ = w.Write(snap.Result)
 		return
 	}
-	status := jobStatus{ID: snap.ID, State: string(snap.State)}
+	status := jobStatus{ID: snap.ID, State: string(snap.State), TraceID: snap.TraceID}
 	if snap.State == batch.StateFailed {
 		status.Error = jobFailureReason(snap)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"antlayer"
 	"antlayer/internal/dot"
+	"antlayer/internal/obs"
 )
 
 // RenderMode selects the optional drawing embedded in a layer response.
@@ -379,6 +380,7 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 	}
 
 	if req.Render != RenderNone {
+		render := obs.FromContext(ctx).Begin("render")
 		d, err := antlayer.Draw(g, fixedLayering{l}, nil)
 		if err != nil {
 			return nil, 0, fmt.Errorf("render: %w", err)
@@ -395,6 +397,7 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 		if err != nil {
 			return nil, 0, fmt.Errorf("render: %w", err)
 		}
+		render.End()
 	}
 
 	body, err = json.Marshal(resp)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"antlayer/internal/batch"
+	"antlayer/internal/obs"
 	"antlayer/internal/shard"
 )
 
@@ -136,6 +137,9 @@ type MetricsSnapshot struct {
 	// epochs, migrations, per-shard epoch latency. Present only on a
 	// coordinator daemon.
 	Cluster *shard.ClusterMetrics `json:"cluster,omitempty"`
+	// Runtime is the Go runtime's health at snapshot time: goroutines,
+	// heap gauges and cumulative GC work (see obs.ReadRuntime).
+	Runtime obs.RuntimeStats `json:"runtime"`
 }
 
 // LatencyQuantile summarises the recent /layer latency distribution.
@@ -145,7 +149,7 @@ type LatencyQuantile struct {
 	P99   float64 `json:"p99"`
 }
 
-func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, jobs batch.Stats, events batch.EventStats, webhooks WebhookMetrics, cluster *shard.ClusterMetrics) MetricsSnapshot {
+func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, jobs batch.Stats, events batch.EventStats, webhooks WebhookMetrics, cluster *shard.ClusterMetrics, rt obs.RuntimeStats) MetricsSnapshot {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -178,5 +182,6 @@ func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int
 		Events:               events,
 		Webhooks:             webhooks,
 		Cluster:              cluster,
+		Runtime:              rt,
 	}
 }

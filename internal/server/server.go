@@ -34,9 +34,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -46,7 +46,10 @@ import (
 	"antlayer"
 	"antlayer/internal/batch"
 	"antlayer/internal/buildinfo"
+	"antlayer/internal/obs"
 	"antlayer/internal/shard"
+
+	"log/slog"
 )
 
 // Config tunes the daemon. The zero value is usable: every field falls
@@ -112,6 +115,17 @@ type Config struct {
 	// queue pressure reproducible — a deterministic "slow backend" —
 	// without touching the algorithms. Leave zero in production.
 	FaultComputeDelay time.Duration
+	// TraceRing bounds how many recent request traces GET /traces can
+	// reconstruct; TraceSlowest is the slowest-N retention list that
+	// survives ring churn. 0 means the defaults (256 / 32); negative
+	// TraceSlowest disables the slowest list.
+	TraceRing    int
+	TraceSlowest int
+	// EnablePprof mounts net/http/pprof under /debug/pprof. Off by
+	// default: the profiling endpoints expose internals and cost CPU
+	// when scraped, so production daemons opt in deliberately
+	// (`daglayer serve -pprof`).
+	EnablePprof bool
 	// Coordinator, when non-nil, makes this daemon the archipelago's
 	// coordinator: requests with distributed=true run algo=island sharded
 	// over the coordinator's registered workers (byte-identical to the
@@ -119,8 +133,8 @@ type Config struct {
 	// cluster section. The caller owns the coordinator's listener
 	// lifecycle (see cmd/daglayer serve -coordinator).
 	Coordinator *shard.Coordinator
-	// Log receives one line per /layer request. Nil discards.
-	Log *log.Logger
+	// Log receives structured request and lifecycle lines. Nil discards.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +198,7 @@ type Server struct {
 	metrics  *serverMetrics
 	jobs     *batch.Queue
 	webhooks *webhookManager
+	tracer   *obs.Tracer
 	sem      chan struct{}
 	mux      *http.ServeMux
 	// shuttingDown flips when Serve begins graceful shutdown, so aborted
@@ -204,6 +219,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheSize, cfg.CacheMaxBytes),
 		flights: newFlightGroup(),
 		metrics: newServerMetrics(),
+		tracer:  obs.NewTracer(cfg.TraceRing, cfg.TraceSlowest),
 		jobs: batch.New(batch.Config{
 			Workers:     cfg.JobWorkers,
 			Depth:       cfg.JobQueueDepth,
@@ -226,6 +242,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/cluster", s.handleCluster)
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/traces/", s.handleTrace)
+	if cfg.EnablePprof {
+		// Mounted explicitly on the daemon's own mux — importing
+		// net/http/pprof registers on DefaultServeMux, which this server
+		// never serves, so nothing leaks when the flag is off.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -291,7 +319,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	s.logf("listening on %s", ln.Addr())
+	s.log().Info("listening", "addr", ln.Addr().String())
 	return s.Serve(ctx, ln)
 }
 
@@ -303,13 +331,15 @@ func (s *Server) Metrics() MetricsSnapshot {
 		cluster = &cm
 	}
 	cacheBytes, cacheOversize := s.cache.Bytes()
-	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, s.jobs.Stats(), s.jobs.Events().Stats(), s.webhooks.Metrics(), cluster)
+	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, s.jobs.Stats(), s.jobs.Events().Stats(), s.webhooks.Metrics(), cluster, obs.ReadRuntime())
 }
 
-func (s *Server) logf(format string, args ...any) {
+// log returns the structured logger (never nil).
+func (s *Server) log() *slog.Logger {
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf(format, args...)
+		return s.cfg.Log
 	}
+	return obs.Discard()
 }
 
 // healthzResponse is the JSON /healthz serves: liveness plus the build
@@ -328,10 +358,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.Metrics())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Metrics())
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = writeProm(w, s.Metrics())
+	default:
+		s.httpError(w, http.StatusBadRequest, "unknown format %q (want json|prometheus)", format)
+	}
 }
 
 // handleCluster reports the shard coordinator's fleet and per-shard
@@ -400,15 +438,21 @@ func (s *Server) parseLayerHTTP(w http.ResponseWriter, r *http.Request) (req Req
 // source is "hit", "coalesced" or "miss" on success; stage names what
 // was happening when err struck, in the vocabulary deadlineError logs.
 func (s *Server) computeCached(ctx context.Context, key string, req Request, g *antlayer.Graph, names []string, acquire func(context.Context) (func(), error)) (body []byte, source, stage string, err error) {
+	tr := obs.FromContext(ctx)
 	for {
-		if body, ok := s.cache.Get(key); ok {
+		lookup := tr.Begin("cache_lookup")
+		body, ok := s.cache.Get(key)
+		lookup.End()
+		if ok {
 			s.metrics.cacheHits.Add(1)
 			return body, "hit", "", nil
 		}
 		leader, fl := s.flights.join(key)
 		if !leader {
+			waitStart := tr.Since()
 			select {
 			case <-fl.done:
+				tr.Observe("coalesce_wait", "", 0, waitStart, tr.Since()-waitStart)
 				if fl.err == nil {
 					s.metrics.coalesced.Add(1)
 					return fl.body, "coalesced", "", nil
@@ -417,12 +461,15 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 				// than ours. Loop: re-check the cache, then try leading.
 				continue
 			case <-ctx.Done():
+				tr.Observe("coalesce_wait", "", 0, waitStart, tr.Since()-waitStart)
 				return nil, "", "waiting on an identical in-flight request", ctx.Err()
 			}
 		}
 		release := func() {}
 		if acquire != nil {
+			queueStart := tr.Since()
 			release, err = acquire(ctx)
+			tr.Observe("queue_wait", "", 0, queueStart, tr.Since()-queueStart)
 			if err != nil {
 				s.flights.finish(key, fl, nil, err)
 				return nil, "", "queued for a compute slot", err
@@ -441,7 +488,9 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 				return nil, "", "computing", ctx.Err()
 			}
 		}
+		computeStart := tr.Since()
 		body, toursRun, err := ComputeWith(ctx, req, g, names, s.islandRunner(req))
+		tr.Observe("compute", "", 0, computeStart, tr.Since()-computeStart)
 		s.metrics.toursRun.Add(int64(toursRun))
 		s.metrics.inFlight.Add(-1)
 		release()
@@ -475,7 +524,7 @@ func (s *Server) islandRunner(req Request) IslandRunner {
 	}
 	if s.cfg.Coordinator.Workers() == 0 {
 		s.metrics.distFallbacks.Add(1)
-		s.logf("distributed request with no registered workers; running in-process")
+		s.log().Warn("distributed request with no registered workers; running in-process")
 		return nil
 	}
 	return func(ctx context.Context, g *antlayer.Graph, p antlayer.IslandParams) (*antlayer.IslandResult, error) {
@@ -483,7 +532,8 @@ func (s *Server) islandRunner(req Request) IslandRunner {
 		if errors.Is(err, shard.ErrNoWorkers) {
 			// The fleet drained between the check and the run.
 			s.metrics.distFallbacks.Add(1)
-			s.logf("worker fleet drained mid-request; running in-process")
+			s.log().Warn("worker fleet drained mid-request; running in-process",
+				"trace", obs.FromContext(ctx).ID())
 			return antlayer.IslandColonyRunContext(ctx, g, p)
 		}
 		if err == nil {
@@ -518,14 +568,23 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.observeLatency(time.Since(start)) }()
 
+	// One trace per request: the inbound X-Request-ID is honored when
+	// well-formed (so callers and upstream proxies can correlate), minted
+	// otherwise, and always echoed so the caller can GET /traces/{id}.
+	tr := s.tracer.New(r.Header.Get("X-Request-ID"))
+	defer s.tracer.Finish(tr)
+	w.Header().Set("X-Request-ID", tr.ID())
+
+	parse := tr.Begin("parse")
 	req, g, names, ok := s.parseLayerHTTP(w, r)
+	parse.End()
 	if !ok {
 		return
 	}
 	key := requestKey(req, g, names)
 	w.Header().Set("X-Cache-Key", key)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
+	ctx, cancel := context.WithTimeout(obs.NewContext(r.Context(), tr), s.timeout(req))
 	defer cancel()
 
 	body, source, stage, err := s.computeCached(ctx, key, req, g, names, s.acquireSem)
@@ -547,7 +606,9 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "layering failed: %v", err)
 		return
 	}
-	s.logf("layer %-9s n=%d m=%d algo=%s %s", source, g.N(), g.M(), req.Algo, time.Since(start).Round(time.Microsecond))
+	s.log().Info("layer served",
+		"trace", tr.ID(), "source", source, "n", g.N(), "m", g.M(),
+		"algo", string(req.Algo), "dur", time.Since(start).Round(time.Microsecond))
 	s.writeBody(w, body, source)
 }
 

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"antlayer/internal/obs"
+)
+
+// handleTraces serves GET /traces: the retained request traces, slowest
+// first — the union of the recent ring and the slowest-N retention list,
+// so both "what just happened" and "what was ever slow" stay answerable.
+//
+//	?limit=N    at most N traces (0 or absent: all retained)
+//	?min_ms=D   only finished traces at least D milliseconds long
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.httpError(w, http.StatusMethodNotAllowed, "GET /traces lists retained request traces")
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad limit %q (want a non-negative integer)", v)
+			return
+		}
+		limit = n
+	}
+	var min time.Duration
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad min_ms %q (want a non-negative number)", v)
+			return
+		}
+		min = time.Duration(ms * float64(time.Millisecond))
+	}
+	views := s.tracer.List(limit, min)
+	if views == nil {
+		views = []obs.TraceView{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Traces []obs.TraceView `json:"traces"`
+	}{views})
+}
+
+// handleTrace serves GET /traces/{id}: one trace with its full span
+// breakdown, including rebased worker spans for distributed runs. 404
+// when the ID was never seen or has aged out of both retention tiers.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.httpError(w, http.StatusMethodNotAllowed, "GET /traces/{id} fetches one request trace")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		s.httpError(w, http.StatusNotFound, "want /traces/{id}")
+		return
+	}
+	tr, ok := s.tracer.Get(id)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "no trace %q (traces are retained in a bounded ring plus a slowest-N list)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(tr.View())
+}

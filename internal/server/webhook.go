@@ -267,7 +267,8 @@ func (m *webhookManager) deliver(ws *webhookSub, ev batch.Event) {
 	}
 	ws.failed.Add(1)
 	m.failed.Add(1)
-	m.s.logf("webhook %s: giving up on seq %d after %d attempts", ws.id, ev.Seq, cfg.WebhookRetries)
+	m.s.log().Warn("webhook delivery abandoned",
+		"subscription", ws.id, "seq", ev.Seq, "attempts", cfg.WebhookRetries)
 }
 
 // attemptPost performs one delivery attempt; any 2xx answer counts.
@@ -313,7 +314,8 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
-		s.logf("webhook %s -> %s (topic=%q job=%q)", ws.id, ws.url, ws.topic, ws.job)
+		s.log().Info("webhook registered",
+			"subscription", ws.id, "url", ws.url, "topic", ws.topic, "job", ws.job)
 		writeJSON(w, http.StatusCreated, ws.info())
 	default:
 		w.Header().Set("Allow", "GET, POST")

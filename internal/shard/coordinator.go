@@ -6,7 +6,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -15,6 +15,7 @@ import (
 
 	"antlayer/internal/dag"
 	"antlayer/internal/island"
+	"antlayer/internal/obs"
 )
 
 // ErrNoWorkers reports a distributed run attempted with an empty fleet.
@@ -56,7 +57,7 @@ type CoordinatorConfig struct {
 	// a clean rejection (error frame + close), never an expel.
 	Secret string
 	// Log receives registration and run-lifecycle lines. Nil discards.
-	Log *log.Logger
+	Log *slog.Logger
 }
 
 // readResult is one routed frame (or the read error that ended the
@@ -145,15 +146,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.HeartbeatTimeout == 0 {
 		cfg.HeartbeatTimeout = defaultHeartbeatTimeout
 	}
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
+	}
 	c := &Coordinator{cfg: cfg, workers: make(map[int]*workerConn)}
 	c.launch = c.execute
 	return c
-}
-
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Log != nil {
-		c.cfg.Log.Printf(format, args...)
-	}
 }
 
 // Serve accepts worker registrations on ln until ctx is cancelled, then
@@ -197,7 +195,7 @@ func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	c.logf("coordinator listening on %s", ln.Addr())
+	c.cfg.Log.Info("coordinator listening", "addr", ln.Addr().String())
 	return c.Serve(ctx, ln)
 }
 
@@ -234,7 +232,8 @@ func (c *Coordinator) reap(now time.Time) int {
 	c.mu.Unlock()
 	for _, w := range stale {
 		c.beatExpels.Add(1)
-		c.logf("worker %d (%s) silent for over %s; expelling", w.id, w.name, c.cfg.HeartbeatTimeout)
+		c.cfg.Log.Warn("worker silent past heartbeat timeout; expelling",
+			"worker", w.name, "worker_id", w.id, "timeout", c.cfg.HeartbeatTimeout)
 		c.expel(w)
 	}
 	return len(stale)
@@ -254,7 +253,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		// A clean rejection, not an expel: the peer never joined the
 		// fleet. The error frame tells an honestly misconfigured worker
 		// why, without leaking anything about the expected secret.
-		c.logf("registration from %s rejected: bad cluster secret", conn.RemoteAddr())
+		c.cfg.Log.Warn("registration rejected: bad cluster secret", "remote", conn.RemoteAddr().String())
 		_ = writeFrame(conn, &message{Type: msgError, Error: "registration rejected: bad cluster secret"})
 		conn.Close()
 		return
@@ -273,7 +272,8 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		c.expel(w)
 		return
 	}
-	c.logf("worker %d (%s) registered from %s (%d in fleet)", w.id, w.name, conn.RemoteAddr(), n)
+	c.cfg.Log.Info("worker registered", "worker", w.name, "worker_id", w.id,
+		"remote", conn.RemoteAddr().String(), "fleet", n)
 	go c.readLoop(w)
 	// The fleet grew: a pending run may now have enough idle workers.
 	c.mu.Lock()
@@ -348,7 +348,7 @@ func (c *Coordinator) expel(w *workerConn) {
 	c.mu.Unlock()
 	w.conn.Close()
 	if present {
-		c.logf("worker %d (%s) expelled (%d in fleet)", w.id, w.name, n)
+		c.cfg.Log.Warn("worker expelled", "worker", w.name, "worker_id", w.id, "fleet", n)
 	}
 }
 
@@ -387,10 +387,8 @@ func partition(k, w int) [][]int {
 // claimed by.
 func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Graph, p island.Params) (*island.Result, error) {
 	k := p.Islands
-	if len(ws) > k {
-		ws = ws[:k] // defensive: a lease is never oversized at dispatch
-	}
 	parts := partition(k, len(ws))
+	tr := obs.FromContext(ctx)
 
 	// Claim the workers: each gets a fresh frame sink the reader routes
 	// into for the duration of the run. runDone releases any reader
@@ -486,8 +484,14 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 	}
 
 	snap := g.Snapshot()
+	// dispatched[i] is the trace offset at which worker i's run frame
+	// went out — the rebase point for the spans its report brings back
+	// (the worker's clock starts when the frame arrives, one network
+	// hop later; cross-process offsets are approximate by that hop).
+	dispatched := make([]time.Duration, len(ws))
 	for i, w := range ws {
-		run := &message{Type: msgRun, Seq: seq, Graph: &snap, Params: &p, Islands: parts[i]}
+		dispatched[i] = tr.Since()
+		run := &message{Type: msgRun, Seq: seq, Graph: &snap, Params: &p, Islands: parts[i], TraceID: tr.ID()}
 		if err := writeFrame(w.conn, run); err != nil {
 			return nil, abort(w, err)
 		}
@@ -499,6 +503,7 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 		// concurrently so one slow worker delays, not serializes, the
 		// rest; the elapsed time per worker is the per-shard epoch
 		// latency /metrics reports.
+		barrierStart := tr.Since()
 		frames := make([]message, len(ws))
 		errs := make([]error, len(ws))
 		durs := make([]time.Duration, len(ws))
@@ -526,6 +531,7 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 			}(i)
 		}
 		wg.Wait()
+		tr.Observe("epoch", "", epoch, barrierStart, tr.Since()-barrierStart)
 		for i, err := range errs {
 			if err != nil {
 				if ctx.Err() != nil {
@@ -573,6 +579,7 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 		// The ring turns: island i's incoming elite is island (i-1+k)%k's,
 		// delivered positionally per worker. A single-island archipelago
 		// exchanges nothing (matching island.Ring).
+		migrateStart := tr.Since()
 		for i, w := range ws {
 			migrate := &message{Type: msgMigrate, Seq: seq, Epoch: epoch}
 			if k > 1 {
@@ -586,6 +593,7 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 				return nil, abort(w, err)
 			}
 		}
+		tr.Observe("migrate", "", epoch, migrateStart, tr.Since()-migrateStart)
 		if k > 1 {
 			migrations++
 			c.migrations.Add(1)
@@ -614,9 +622,12 @@ func (c *Coordinator) runOnce(ctx context.Context, ws []*workerConn, g *dag.Grap
 			return nil, abort(w, fmt.Errorf("protocol: want %d reports, got %s/%d", len(parts[i]), m.Type, len(m.Reports)))
 		}
 		reports = append(reports, m.Reports...)
+		tr.Merge(m.Spans, dispatched[i])
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Island < reports[j].Island })
+	assemble := tr.Begin("assemble")
 	res, err := island.Assemble(g, p, reports, migrations)
+	assemble.End()
 	if err != nil {
 		return nil, abort(nil, err)
 	}

@@ -34,6 +34,7 @@ import (
 
 	"antlayer/internal/dag"
 	"antlayer/internal/island"
+	"antlayer/internal/obs"
 )
 
 // maxFrame bounds a single frame so a corrupt or hostile peer cannot make
@@ -71,17 +72,24 @@ type message struct {
 	Auth     string `json:"auth,omitempty"`
 	WorkerID int    `json:"worker_id,omitempty"`
 
-	// run (coordinator → worker).
+	// run (coordinator → worker). TraceID propagates the request trace
+	// so the worker's span timings can be attributed to it; empty for
+	// untraced runs, and old workers simply ignore it.
 	Graph   *dag.Snapshot  `json:"graph,omitempty"`
 	Params  *island.Params `json:"params,omitempty"`
 	Islands []int          `json:"islands,omitempty"`
+	TraceID string         `json:"trace_id,omitempty"`
 
 	// epoch (worker → coordinator) / migrate (coordinator → worker).
 	Epoch  int            `json:"epoch,omitempty"`
 	Elites []island.Elite `json:"elites,omitempty"`
 
-	// report (worker → coordinator).
+	// report (worker → coordinator). Spans are the worker's per-epoch
+	// compute timings, offsets relative to the worker's run start; the
+	// coordinator rebases them onto the request trace at the run-frame
+	// dispatch offset (DESIGN.md §14).
 	Reports []island.Report `json:"reports,omitempty"`
+	Spans   []obs.Span      `json:"spans,omitempty"`
 
 	// error (either direction).
 	Error string `json:"error,omitempty"`

@@ -10,6 +10,7 @@ import (
 
 	"antlayer/internal/dag"
 	"antlayer/internal/island"
+	"antlayer/internal/obs"
 )
 
 // ErrRunQueueFull reports a distributed run rejected at admission because
@@ -206,6 +207,12 @@ func (c *Coordinator) dispatchLocked() {
 		c.queue = c.queue[1:]
 		r.state = runDispatched
 		r.dispatchedAt = time.Now()
+		if tr := obs.FromContext(r.ctx); tr != nil {
+			// Admission span: how long the run waited in the queue for its
+			// lease — the queue-position wait and the lease wait are one
+			// event here (dispatch fires the moment enough workers idle).
+			tr.Observe("admission", "", 0, r.enqueuedAt.Sub(tr.Start()), r.dispatchedAt.Sub(r.enqueuedAt))
+		}
 		c.running++
 		if c.running > c.peakRunning {
 			c.peakRunning = c.running
@@ -248,7 +255,8 @@ func (c *Coordinator) execute(r *pendingRun, lease []*workerConn) {
 		lease = live
 		if len(lease) > 0 {
 			c.mu.Unlock()
-			c.logf("run %d failed (%v); retrying on the lease's %d survivors", r.admit, err, len(lease))
+			c.cfg.Log.Warn("run failed; retrying on lease survivors",
+				"run", r.admit, "trace", obs.FromContext(r.ctx).ID(), "err", err, "survivors", len(lease))
 			continue
 		}
 		// Lease exhausted. Re-enter the queue at the original admission
@@ -260,7 +268,8 @@ func (c *Coordinator) execute(r *pendingRun, lease []*workerConn) {
 			c.mu.Unlock()
 			return
 		}
-		c.logf("run %d lost its whole lease (%v); requeueing", r.admit, err)
+		c.cfg.Log.Warn("run lost its whole lease; requeueing",
+			"run", r.admit, "trace", obs.FromContext(r.ctx).ID(), "err", err)
 		r.state = runQueued
 		r.enqueuedAt = time.Now()
 		c.requeueLocked(r)
@@ -283,6 +292,11 @@ func (c *Coordinator) requeueLocked(r *pendingRun) {
 // freed workers to the next queued run — the overlap point where one
 // run's finish phase meets the next's dispatch.
 func (c *Coordinator) settleRun(r *pendingRun, lease []*workerConn, out runOutcome) {
+	if tr := obs.FromContext(r.ctx); tr != nil && !r.dispatchedAt.IsZero() {
+		// Lease span: how long the run held workers, dispatch to settle
+		// (retries on lease survivors included).
+		tr.Observe("lease", "", 0, r.dispatchedAt.Sub(tr.Start()), time.Since(r.dispatchedAt))
+	}
 	c.mu.Lock()
 	for _, w := range lease {
 		if c.workers[w.id] == w && w.lease == r.admit {

@@ -341,3 +341,32 @@ func TestCancelledWhileQueued(t *testing.T) {
 		t.Errorf("in-flight run disturbed by queued cancellation: %v", err)
 	}
 }
+
+// TestLeaseExactlySized: a K-island run on a larger fleet leases exactly
+// K workers — the others never see the run (DESIGN.md §12; runOnce takes
+// the lease as-is, with no re-truncation).
+func TestLeaseExactlySized(t *testing.T) {
+	c, addr, ctx, cancel := startCoordinator(t, CoordinatorConfig{})
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		startWorker(ctx, addr, WorkerConfig{Name: fmt.Sprintf("w%d", i)}, true)
+	}
+	waitWorkers(t, c, 3)
+	g := testGraph(t, 12, 2)
+	if _, err := c.RunIsland(context.Background(), g, schedParams(2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	participated := 0
+	for _, w := range m.PerWorker {
+		if w.Epochs > 0 {
+			participated++
+		}
+		if w.State != "idle" {
+			t.Errorf("worker %s still %q after the run settled", w.Name, w.State)
+		}
+	}
+	if participated != 2 {
+		t.Errorf("%d workers participated, want exactly 2 (lease size)", participated)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +12,7 @@ import (
 
 	"antlayer/internal/dag"
 	"antlayer/internal/island"
+	"antlayer/internal/obs"
 )
 
 // errAborted tags a run the coordinator told the worker to drop; the
@@ -65,7 +66,7 @@ type WorkerConfig struct {
 	// a healthy worker.
 	Fault *FaultPlan
 	// Log receives run-lifecycle lines. Nil discards.
-	Log *log.Logger
+	Log *slog.Logger
 }
 
 // Worker hosts island slices for a coordinator: it dials, registers, and
@@ -83,13 +84,10 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = defaultHeartbeatInterval
 	}
-	return &Worker{cfg: cfg}
-}
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Log != nil {
-		w.cfg.Log.Printf(format, args...)
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
 	}
+	return &Worker{cfg: cfg}
 }
 
 // lockedConn serialises frame writes on a worker connection between the
@@ -141,7 +139,13 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 		}
 		return fmt.Errorf("shard: registration with %s failed (got %v, err %v)", addr, welcome.Type, err)
 	}
-	w.logf("registered with coordinator %s as worker %d", addr, welcome.WorkerID)
+	name := w.cfg.Name
+	if name == "" {
+		// Mirror the coordinator's assigned name so the worker's span and
+		// log attributes join against the coordinator's metrics.
+		name = fmt.Sprintf("worker-%d", welcome.WorkerID)
+	}
+	w.cfg.Log.Info("registered with coordinator", "coordinator", addr, "worker", name, "worker_id", welcome.WorkerID)
 	if w.cfg.OnRegister != nil {
 		w.cfg.OnRegister(welcome.WorkerID)
 	}
@@ -176,7 +180,7 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 		}
 		switch m.Type {
 		case msgRun:
-			if err := w.serveRun(ctx, lc, &m); err != nil {
+			if err := w.serveRun(ctx, lc, &m, name); err != nil {
 				if ctx.Err() != nil {
 					return nil
 				}
@@ -192,33 +196,38 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 
 // serveRun executes one assigned run. Worker-side failures are reported
 // to the coordinator in-band and leave the connection usable; only
-// transport failures propagate (and end the connection).
-func (w *Worker) serveRun(ctx context.Context, lc *lockedConn, run *message) error {
+// transport failures propagate (and end the connection). The worker
+// measures its per-epoch compute into a local trace whose clock starts
+// here; the report frame carries those spans back for the coordinator
+// to rebase onto the request trace.
+func (w *Worker) serveRun(ctx context.Context, lc *lockedConn, run *message, name string) error {
 	start := time.Now()
-	reports, err := w.computeRun(ctx, lc, run)
+	tr := obs.NewTrace(run.TraceID)
+	reports, err := w.computeRun(ctx, lc, run, tr, name)
 	if err != nil {
 		if errors.Is(err, errAborted) {
-			w.logf("run seq=%d aborted by coordinator", run.Seq)
+			w.cfg.Log.Info("run aborted by coordinator", "seq", run.Seq, "trace", run.TraceID)
 			return nil
 		}
 		if ctx.Err() != nil {
 			return err
 		}
 		// In-band failure: tell the coordinator and stay registered.
-		w.logf("run seq=%d failed: %v", run.Seq, err)
+		w.cfg.Log.Warn("run failed", "seq", run.Seq, "trace", run.TraceID, "err", err)
 		return lc.write(&message{Type: msgError, Seq: run.Seq, Error: err.Error()})
 	}
-	if err := lc.write(&message{Type: msgReport, Seq: run.Seq, Reports: reports}); err != nil {
+	if err := lc.write(&message{Type: msgReport, Seq: run.Seq, Reports: reports, Spans: tr.Spans()}); err != nil {
 		return err
 	}
-	w.logf("run seq=%d: %d islands reported in %s", run.Seq, len(reports), time.Since(start).Round(time.Millisecond))
+	w.cfg.Log.Info("run complete", "seq", run.Seq, "trace", run.TraceID,
+		"islands", len(reports), "dur", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
 // computeRun builds the engine for the assigned slice and drives it
 // against the network migrator until the coordinator says the
 // archipelago is done.
-func (w *Worker) computeRun(ctx context.Context, lc *lockedConn, run *message) ([]island.Report, error) {
+func (w *Worker) computeRun(ctx context.Context, lc *lockedConn, run *message, tr *obs.Trace, name string) ([]island.Report, error) {
 	if run.Graph == nil || run.Params == nil {
 		return nil, fmt.Errorf("shard: run frame missing graph or params")
 	}
@@ -230,7 +239,7 @@ func (w *Worker) computeRun(ctx context.Context, lc *lockedConn, run *message) (
 	if err != nil {
 		return nil, err
 	}
-	m := &netMigrator{worker: w, lc: lc, seq: run.Seq}
+	m := &netMigrator{worker: w, lc: lc, seq: run.Seq, tr: tr, name: name}
 	if _, err := island.Drive(ctx, e, m); err != nil {
 		return nil, err
 	}
@@ -243,6 +252,13 @@ type netMigrator struct {
 	worker *Worker
 	lc     *lockedConn
 	seq    uint64
+
+	// Span measurement: tr's clock starts at the run frame; last is the
+	// offset at which the previous Exchange returned, so the stretch up
+	// to the next Exchange call is this epoch's compute time.
+	tr   *obs.Trace
+	name string
+	last time.Duration
 }
 
 // die executes a one-shot connection-killing fault: close the socket so
@@ -268,6 +284,10 @@ func (m *netMigrator) Exchange(ctx context.Context, epoch int, local []island.El
 			return nil, false, m.die("mid-epoch", epoch)
 		}
 	}
+	// The stretch since the previous barrier answer is this epoch's
+	// compute (fault delays included — they simulate slow compute).
+	now := m.tr.Since()
+	m.tr.Observe("worker_epoch", m.name, epoch, m.last, now-m.last)
 	if err := m.lc.write(&message{Type: msgEpoch, Seq: m.seq, Epoch: epoch, Elites: local}); err != nil {
 		return nil, false, err
 	}
@@ -287,6 +307,7 @@ func (m *netMigrator) Exchange(ctx context.Context, epoch int, local []island.El
 			if f := m.worker.cfg.Fault; f != nil && f.DieAfterMigrate == epoch && m.worker.faultFired.CompareAndSwap(false, true) {
 				return nil, false, m.die("after migrate", epoch)
 			}
+			m.last = m.tr.Since()
 			return reply.Elites, true, nil
 		case msgFinish:
 			return nil, false, nil
