@@ -43,6 +43,21 @@ type ACOParams = core.Params
 // ACOResult is the full outcome of a colony run including per-tour history.
 type ACOResult = core.Result
 
+// ACOState is a colony's compact carryable search state — the pheromone
+// matrix plus the elite layering — exported by a run with
+// ACOParams.ExportState set and replayed into a later run through
+// ACOParams.Warm. See MapVerticesByName for carrying a state across a
+// graph edit.
+type ACOState = core.State
+
+// MapVerticesByName builds the vertex mapping ACOState.Remap consumes:
+// mapping[new] is the index of the vertex with the same name in the old
+// graph, or -1 when the vertex is new. Deterministic: duplicate names
+// map to the lowest old index.
+func MapVerticesByName(oldNames, newNames []string) []int {
+	return core.MapByName(oldNames, newNames)
+}
+
 // IslandParams configures the island-model multi-colony search (see
 // DefaultIslandParams and internal/island for the topology).
 type IslandParams = island.Params

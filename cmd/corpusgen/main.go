@@ -33,7 +33,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 7, "corpus seed")
 		perGroup = fs.Int("per-group", 0, "graphs per group (0 = full corpus, 1277 total)")
 		asDOT    = fs.Bool("dot", false, "write DOT files instead of edge lists")
-		family   = fs.String("family", "sparse", "corpus family: sparse|trees|layered|dense|series-parallel|pipeline")
+		family   = fs.String("family", "sparse", "corpus family: sparse|trees|layered|dense|series-parallel|pipeline|delta (delta = per-group edit chains for warm-start workloads)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -62,7 +62,10 @@ func TestClusterEndToEnd(t *testing.T) {
 	startWorker("w2")
 	waitFleet(t, baseURL, 2)
 
-	const query = "algo=island&islands=4&tours=3&migration-interval=1&seed=9"
+	// warm=false: with the result cache off, the repeat requests below
+	// would otherwise warm-start from the first answer's pheromone state
+	// and run fewer tours — this test compares full recomputations.
+	const query = "algo=island&islands=4&tours=3&migration-interval=1&seed=9&warm=false"
 	want := postLayerHTTP(t, baseURL, query, demoDOT)
 	got2 := postLayerHTTP(t, baseURL, query+"&distributed=true", demoDOT)
 	if !bytes.Equal(got2, want) {
@@ -143,8 +146,10 @@ func TestClusterConcurrentRuns(t *testing.T) {
 	}
 	waitFleet(t, baseURL, 4)
 
+	// warm=false for the same reason as TestClusterEndToEnd: every body
+	// here must be a full recomputation, not a warm resume of a twin.
 	query := func(seed int) string {
-		return fmt.Sprintf("algo=island&islands=2&tours=3&migration-interval=1&seed=%d", seed)
+		return fmt.Sprintf("algo=island&islands=2&tours=3&migration-interval=1&seed=%d&warm=false", seed)
 	}
 	// In-process references from the same daemon (cache disabled, so the
 	// distributed twins below really compute).

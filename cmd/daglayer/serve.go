@@ -38,6 +38,11 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		runQueue    = fs.Int("run-queue", 0, "distributed-run admission queue bound; runs beyond it answer 429 (0 = default 16, negative = dispatch-or-reject)")
 		maxRuns     = fs.Int("max-runs", 0, "cap on concurrently dispatched distributed runs (0 = worker availability is the only bound)")
 		secret      = fs.String("cluster-secret", "", "shared secret workers must present to register (empty = open cluster)")
+		warmBytes   = fs.Int64("warm-cache-bytes", 0, "warm-start state cache budget in bytes (0 = default 64 MiB, negative disables warm starting)")
+		warmFrac    = fs.Float64("warm-tours-frac", 0, "fraction of the cold tour budget a warm-started run gets (0 = default 1/3)")
+		warmStall   = fs.Int("warm-stall-tours", 0, "stall-tours early stop injected into warm-started runs that set none (0 = default 3, negative disables)")
+		warmMinSim  = fs.Float64("warm-min-similarity", 0, "minimum vertex-name overlap ratio the similarity probe requires (0 = default 0.5)")
+		traceSample = fs.Float64("trace-sample", 1, "fraction of requests that get a trace (head sampling; 1 = every request)")
 		faultDelay  = fs.Duration("fault-compute-delay", 0, "TESTING ONLY: add this delay to every computation, simulating a slow backend for chaos scenarios")
 		quiet       = fs.Bool("quiet", false, "suppress per-request logging")
 		logLevel    = fs.String("log-level", "info", "log threshold: debug|info|warn|error")
@@ -53,7 +58,11 @@ Runs the layering HTTP daemon:
 
   POST   /layer      layer a DOT (or edge-list) graph; see README "Serving"
                      (add distributed=true on a coordinator to shard
-                     algo=island over the worker fleet)
+                     algo=island over the worker fleet; repeat or
+                     lightly-edited colony requests warm-start from the
+                     cached pheromone state of a prior answer — README
+                     "Warm-start serving", opt out per request with
+                     warm=false, pin a lineage with base=<graph key>)
   POST   /jobs       same request, asynchronously: 202 + job id
   POST   /jobs/bulk  ndjson of {query,graph} lines in, one result line
                      per job out, streamed in completion order
@@ -122,7 +131,17 @@ flags:
 		FaultComputeDelay: *faultDelay,
 		TraceRing:         *traceRing,
 		TraceSlowest:      *traceSlow,
+		TraceSample:       *traceSample,
+		WarmCacheBytes:    *warmBytes,
+		WarmToursFrac:     *warmFrac,
+		WarmStallTours:    *warmStall,
+		WarmMinSimilarity: *warmMinSim,
 		EnablePprof:       *pprofOn,
+	}
+	if *traceSample == 0 {
+		// On the flag, 0 reads as "trace nothing"; in the Config, 0 is the
+		// zero value and means the default (1). Translate.
+		cfg.TraceSample = -1
 	}
 	if !*quiet {
 		logger, err := obs.NewLogger(stdout, *logLevel, *logFormat)

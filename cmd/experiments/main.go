@@ -60,6 +60,7 @@ func run(args []string, w io.Writer) error {
 		gap      = fs.Bool("gap", false, "optimality-gap study against the exact solver (small n)")
 		gapN     = fs.Int("gap-n", 10, "graph size for the gap study (<= 16)")
 		shapes   = fs.Bool("shapes", false, "check qualitative shapes against the paper")
+		warm     = fs.Bool("warm", false, "warm-start study: pheromone reuse across graph edits (EXPERIMENTS.md)")
 		all      = fs.Bool("all", false, "run everything")
 		seed     = fs.Int64("seed", 7, "corpus seed")
 		perGroup = fs.Int("per-group", 8, "graphs per corpus group (0 = full corpus)")
@@ -81,9 +82,9 @@ func run(args []string, w io.Writer) error {
 	opts.ACO.Tours = *tours
 	opts.ACO.Workers = *acoWork
 
-	if !*all && *fig == 0 && *tuning == "" && !*ablation && !*shapes && !*extras && !*gap {
+	if !*all && *fig == 0 && *tuning == "" && !*ablation && !*shapes && !*extras && !*gap && !*warm {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -fig N, -tuning X, -ablation, -extras, -gap or -shapes")
+		return fmt.Errorf("nothing to do: pass -all, -fig N, -tuning X, -ablation, -extras, -gap, -warm or -shapes")
 	}
 
 	needComparison := *all || *fig != 0 || *shapes
@@ -222,6 +223,25 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		if err := experiments.WriteGapTable(w, *gapN, results); err != nil {
+			return err
+		}
+	}
+
+	if *warm || *all {
+		fmt.Fprintln(w)
+		instances := 5
+		if *perGroup > 0 && *perGroup < 5 {
+			instances = *perGroup
+		}
+		wOpts := opts
+		wOpts.ACO.Tours = 30 // a real cold budget, so 1/3 of it is a meaningful cut
+		results, err := experiments.WarmStudy(wOpts,
+			[]graphgen.Family{graphgen.Sparse, graphgen.PipelineFamily},
+			[]int{0, 1, 5, 10}, instances)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteWarmTable(w, results); err != nil {
 			return err
 		}
 	}

@@ -57,7 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "", "raw load mode: drive this already-running daemon instead of a scenario")
 		rps      = fs.Float64("rps", 25, "raw load mode: request rate")
 		duration = fs.Duration("duration", 10*time.Second, "raw load mode: how long to drive")
-		mixFlag  = fs.String("mix", "hot=3,cold=1,jobs=1", "raw load mode: traffic weights hot,cold,distributed,jobs,events,oversize")
+		mixFlag  = fs.String("mix", "hot=3,cold=1,jobs=1", "raw load mode: traffic weights hot,cold,distributed,jobs,events,oversize,edits")
 		seed     = fs.Int64("seed", 1, "raw load mode: generator seed")
 		slowest  = fs.Int("trace-slowest", 0, "raw load mode: after the run, fetch /traces and print the N slowest traces' span breakdowns")
 	)
@@ -306,11 +306,13 @@ func parseMix(s string) (chaos.Mix, error) {
 			mix.Events = n
 		case "oversize", "over":
 			mix.Oversize = n
+		case "edits":
+			mix.Edits = n
 		default:
-			return mix, fmt.Errorf("unknown class %q (want hot|cold|distributed|jobs|events|oversize)", kv[0])
+			return mix, fmt.Errorf("unknown class %q (want hot|cold|distributed|jobs|events|oversize|edits)", kv[0])
 		}
 	}
-	if mix.Hot+mix.Cold+mix.Distributed+mix.Jobs+mix.Events+mix.Oversize == 0 {
+	if mix.Hot+mix.Cold+mix.Distributed+mix.Jobs+mix.Events+mix.Oversize+mix.Edits == 0 {
 		return mix, fmt.Errorf("empty mix")
 	}
 	return mix, nil

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"strings"
 	"sync"
 	"time"
 )
@@ -242,9 +243,12 @@ func (c *Cluster) stderr() io.Writer {
 // metricsCounters is the slice of /metrics the harness scrapes: enough to
 // compute a phase's cache hit rate and read the job gauges.
 type metricsCounters struct {
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	Jobs        struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	WarmHits       int64 `json:"warm_hits"`
+	WarmMisses     int64 `json:"warm_misses"`
+	WarmToursSaved int64 `json:"warm_tours_saved"`
+	Jobs           struct {
 		Queued  int64 `json:"queued"`
 		Running int64 `json:"running"`
 	} `json:"jobs"`
@@ -254,6 +258,29 @@ type metricsCounters struct {
 		RunsQueued         int64 `json:"runs_queued"`
 		RunsRejected       int64 `json:"runs_rejected"`
 	} `json:"cluster"`
+}
+
+// postBytes posts a body to a daemon path and returns the response
+// bytes; a non-200 answer is an error (Verify hooks replay requests the
+// traffic already proved serviceable).
+func (c *Cluster) postBytes(ctx context.Context, path, body string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, data)
+	}
+	return data, nil
 }
 
 // Metrics scrapes /metrics; an unreachable daemon (mid-chaos) returns an

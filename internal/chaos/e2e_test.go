@@ -151,6 +151,39 @@ func TestConcurrentRunsScenarioEndToEnd(t *testing.T) {
 	}
 }
 
+// TestEditStreamScenarioEndToEnd runs the warm-start chaos: a
+// deterministic edit chain through a daemon kill. The scenario's Verify
+// hook asserts the scraped warm counters (warm_hits and warm_tours_saved
+// both positive after the restart wiped the state cache) and replays one
+// chain step twice to pin byte-identical answers, so a passing report IS
+// the acceptance check.
+func TestEditStreamScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos e2e skipped in -short mode")
+	}
+	sc, ok := Lookup("edit-stream")
+	if !ok {
+		t.Fatal("edit-stream missing from the registry")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	report, err := Run(ctx, sc, RunOptions{
+		Bin:        buildDaglayer(t),
+		Log:        log.New(testWriter{t}, "chaos: ", 0),
+		ProcessLog: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		t.Errorf("edit-stream failed: %v", report.Failures)
+	}
+	if report.Phases[0].Classes["ok"] == 0 || report.Phases[2].Classes["ok"] == 0 {
+		t.Errorf("edit traffic never served: warmup %v, recovery %v",
+			report.Phases[0].Classes, report.Phases[2].Classes)
+	}
+}
+
 // testWriter adapts t.Logf so the chaos narration lands in test output.
 type testWriter struct{ t *testing.T }
 

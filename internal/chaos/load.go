@@ -14,6 +14,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
 )
 
 // loadDOT is the graph every generated request posts: small enough that a
@@ -50,12 +53,20 @@ type Mix struct {
 	Events int `json:"events"`
 	// Oversize posts a body beyond the daemon's -max-body, expecting 413.
 	Oversize int `json:"oversize"`
+	// Edits walks a deterministic edit chain: each request posts the next
+	// graph of a precomputed mutation sequence (cycling), so consecutive
+	// requests share most vertex names and the daemon's warm-start probe
+	// keeps finding a usable pheromone state — the repeat-with-edits
+	// traffic shape the warm serving path exists for.
+	Edits int `json:"edits"`
 }
 
-func (m Mix) total() int { return m.Hot + m.Cold + m.Distributed + m.Jobs + m.Events + m.Oversize }
+func (m Mix) total() int {
+	return m.Hot + m.Cold + m.Distributed + m.Jobs + m.Events + m.Oversize + m.Edits
+}
 
 // pick draws a traffic class from the mix: "hot", "cold", "dist",
-// "jobs", "events" or "over".
+// "jobs", "events", "over" or "edits".
 func (m Mix) pick(rng *rand.Rand) string {
 	n := m.total()
 	if n <= 0 {
@@ -73,8 +84,10 @@ func (m Mix) pick(rng *rand.Rand) string {
 		return "jobs"
 	case r < m.Hot+m.Cold+m.Distributed+m.Jobs+m.Events:
 		return "events"
-	default:
+	case r < m.Hot+m.Cold+m.Distributed+m.Jobs+m.Events+m.Oversize:
 		return "over"
+	default:
+		return "edits"
 	}
 }
 
@@ -142,6 +155,10 @@ type Generator struct {
 	Client      *http.Client
 
 	coldSeq atomic.Int64
+
+	editOnce  sync.Once
+	editChain []string
+	editSeq   atomic.Int64
 }
 
 // NewGenerator builds a generator with a per-request HTTP client timeout
@@ -240,8 +257,62 @@ func (g *Generator) one(ctx context.Context, rng *rand.Rand, mix Mix, s *SampleS
 		class = g.oneEventJob(ctx)
 	case "over":
 		class = g.postOversize(ctx)
+	case "edits":
+		class, trace = g.postLayer(ctx, editQuery, g.nextEditBody())
 	}
 	s.record(float64(time.Since(start).Nanoseconds())/1e6, class, trace)
+}
+
+// editQuery pins the edit-chain request parameters: the same algorithm,
+// budget and seed on every chain step, so the only thing that varies
+// between requests is the graph — exactly the repeat-with-edits shape,
+// and the shape a later deterministic replay can reproduce.
+const editQuery = "algo=aco&tours=6&seed=9"
+
+// EditChain returns the generator's precomputed edit-chain bodies, built
+// once from the scenario seed: a sparse base and successive small
+// mutations, every step renaming almost nothing — so consecutive posts
+// keep clearing the daemon's warm similarity bar. Exposed so scenario
+// Verify hooks can replay exact chain steps.
+func (g *Generator) EditChain() []string {
+	g.editOnce.Do(func() {
+		graphs, names, err := graphgen.DeltaChain(g.Seed, 40, 8, 2)
+		if err != nil {
+			// A generation failure surfaces as malformed traffic ("4xx"
+			// samples), never a panicking load generator.
+			g.editChain = []string{loadDOT}
+			return
+		}
+		g.editChain = make([]string, len(graphs))
+		for i := range graphs {
+			g.editChain[i] = chainDOT(graphs[i], names[i])
+		}
+	})
+	return g.editChain
+}
+
+// nextEditBody advances the shared chain cursor (cycling), so the posted
+// graph sequence walks edit by edit regardless of which worker draws the
+// class.
+func (g *Generator) nextEditBody() string {
+	chain := g.EditChain()
+	return chain[int(g.editSeq.Add(1))%len(chain)]
+}
+
+// chainDOT serializes a named graph as DOT. Every vertex gets a node
+// statement (isolated vertices survive the round trip) and names are
+// plain identifiers by construction ("v3", "m1"), so no quoting.
+func chainDOT(gr *dag.Graph, names []string) string {
+	var b strings.Builder
+	b.WriteString("digraph chain {\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %s;\n", n)
+	}
+	for _, e := range gr.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s;\n", names[e.U], names[e.V])
+	}
+	b.WriteString("}\n")
+	return b.String()
 }
 
 // classify maps a completed HTTP exchange to an outcome class.

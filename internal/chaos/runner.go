@@ -35,8 +35,11 @@ func (o RunOptions) logf(format string, args ...any) {
 
 // probeQuery is the byte-identical check's request: an island run with a
 // seed outside the load generator's range, so it never collides with
-// generated traffic.
-const probeQuery = "algo=island&islands=4&tours=3&migration-interval=1&seed=701"
+// generated traffic. warm=false pins the cold path — the probe asserts
+// distribution invariance of a from-scratch run, and with the result
+// cache disabled the second (distributed) probe would otherwise
+// warm-start off the anchor the first one just published.
+const probeQuery = "algo=island&islands=4&tours=3&migration-interval=1&seed=701&warm=false"
 
 // Run executes one scenario end to end: start the process tree, record
 // the fault-free reference, drive the three phases (injecting the fault

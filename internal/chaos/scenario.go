@@ -71,7 +71,7 @@ var fastWorkerArgs = []string{"-retry", "100ms", "-retry-max", "1s", "-heartbeat
 
 // Scenarios returns the registry, in a stable order.
 func Scenarios() []Scenario {
-	return []Scenario{workerKill(), slowWorker(), coordinatorRestart(), queueFull(), oversizeFlood(), concurrentRuns()}
+	return []Scenario{workerKill(), slowWorker(), coordinatorRestart(), queueFull(), oversizeFlood(), concurrentRuns(), editStream()}
 }
 
 // Lookup finds a scenario by name.
@@ -298,6 +298,73 @@ func concurrentRuns() Scenario {
 			{Name: "warmup", Duration: 2 * time.Second, Expected: []string{"429"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
 			{Name: "inject", Duration: 3 * time.Second, Expected: []string{"429"}, SLO: SLO{MaxP99Ms: 9000, MaxErrorRate: 0.02, MinRequests: 10}},
 			{Name: "recovery", Duration: 3 * time.Second, Expected: []string{"429"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 10}},
+		},
+	}
+}
+
+// editStream: repeat-with-edits traffic — the warm-start serving path's
+// reason to exist — through a daemon kill. Requests walk a deterministic
+// edit chain (Mix.Edits), so after the first cold anchor nearly every
+// computation warm-starts from a cached pheromone state. The kill wipes
+// that state cache; recovery traffic must transparently re-anchor cold
+// and resume warm-hitting, which the Verify hook reads off the
+// post-restart counters. Verify then replays one chain step twice and
+// pins the answers byte-identical: warm planning against a quiescent
+// state cache is deterministic, so warm serving never turns repeatable
+// answers into drifting ones. The result cache is disabled so every
+// replay is a real computation, not a stored body.
+func editStream() Scenario {
+	return Scenario{
+		Name:        "edit-stream",
+		Description: "repeat-with-edits traffic through a daemon kill; warm-starts resume after the state cache is wiped and replayed answers stay byte-identical",
+		Fast:        true,
+		Seed:        67,
+		Workers:     0,
+		ServeArgs:   []string{"-cache", "-1"},
+		RPS:         25,
+		Mix:         Mix{Edits: 4, Cold: 1},
+		Inject: func(ctx context.Context, c *Cluster) error {
+			return c.KillServe()
+		},
+		Recover: func(ctx context.Context, c *Cluster) error {
+			return c.RestartServe(ctx)
+		},
+		Verify: func(ctx context.Context, c *Cluster) error {
+			m, err := c.Metrics()
+			if err != nil {
+				return fmt.Errorf("scrape /metrics: %w", err)
+			}
+			if m.WarmHits < 1 {
+				return fmt.Errorf("warm_hits=%d after the restart — the edit stream never warm-started", m.WarmHits)
+			}
+			if m.WarmToursSaved < 1 {
+				return fmt.Errorf("warm_hits=%d but warm_tours_saved=%d — warm runs burned full budgets", m.WarmHits, m.WarmToursSaved)
+			}
+			// The chain is a pure function of the scenario seed, so a
+			// throwaway generator reproduces the exact graphs the traffic
+			// posted. Replay one step twice with a pinned query: both
+			// requests warm-plan against the same (now idle) state cache,
+			// and the colony is bitwise deterministic given (state, graph,
+			// seed) — any byte drift is a warm-serving bug.
+			body := NewGenerator(c.BaseURL, 67).EditChain()[1]
+			first, err := c.postBytes(ctx, "/layer?algo=aco&tours=6&seed=11", body)
+			if err != nil {
+				return fmt.Errorf("replay 1: %w", err)
+			}
+			second, err := c.postBytes(ctx, "/layer?algo=aco&tours=6&seed=11", body)
+			if err != nil {
+				return fmt.Errorf("replay 2: %w", err)
+			}
+			if string(first) != string(second) {
+				return fmt.Errorf("replayed edit-chain answers diverge:\n%s\n%s", first, second)
+			}
+			return nil
+		},
+		Phases: []Phase{
+			{Name: "warmup", Duration: 2 * time.Second, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10}},
+			// The daemon is down: clean transport failures, nothing wedged.
+			{Name: "inject", Duration: 2 * time.Second, Expected: []string{"conn", "timeout"}, SLO: SLO{MaxErrorRate: 0, MinRequests: 10}},
+			{Name: "recovery", Duration: 3 * time.Second, Expected: []string{"conn", "timeout"}, SLO: SLO{MaxP99Ms: 5000, MaxErrorRate: 0, MinRequests: 10, MaxRecoverySeconds: 10}},
 		},
 	}
 }

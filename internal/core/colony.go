@@ -43,6 +43,9 @@ type Result struct {
 	BestTour int
 	// History holds per-tour statistics.
 	History []TourStats
+	// State is the colony's final search state, present only when
+	// Params.ExportState asked for it — the input of the next warm start.
+	State *State
 }
 
 // Colony conducts the search process (paper §VI: the AntColony class). A
@@ -109,6 +112,11 @@ func NewColony(g *dag.Graph, p Params) (*Colony, error) {
 		}
 		c.tau[v] = row
 	}
+	// Warm start (Params.Warm): overlay the carried pheromone rows and
+	// elite onto the flat prior before any tour runs. A nil Warm leaves
+	// the matrix exactly as initialised above — the cold path is
+	// bit-neutral.
+	c.applyWarm()
 	return c, nil
 }
 
@@ -254,7 +262,11 @@ func (c *Colony) StepContext(ctx context.Context, n int) (done bool, err error) 
 // stretched LPL seed.
 func (c *Colony) Finalize() (*Result, error) {
 	if c.g.N() == 0 {
-		return &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}, nil
+		res := &Result{Layering: layering.FromAssignment(c.g, nil), Objective: 0}
+		if c.p.ExportState {
+			res.State = c.ExportState()
+		}
+		return res, nil
 	}
 	c.ensureStarted()
 	// The layering gets its own copy: FromAssignment aliases the slice
@@ -266,14 +278,18 @@ func (c *Colony) Finalize() (*Result, error) {
 		return nil, fmt.Errorf("core: colony produced invalid layering: %w", err)
 	}
 	l.Normalize()
-	return &Result{
+	res := &Result{
 		Layering:  l,
 		Objective: c.bestObjective,
 		Height:    l.Height(),
 		Width:     l.WidthIncludingDummies(c.p.DummyWidth),
 		BestTour:  c.bestTour,
 		History:   c.history,
-	}, nil
+	}
+	if c.p.ExportState {
+		res.State = c.ExportState()
+	}
+	return res, nil
 }
 
 // Best returns a copy of the best layer assignment found so far (in the

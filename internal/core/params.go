@@ -169,11 +169,30 @@ type Params struct {
 	// stagnation §IV-D warns about for strong pheromone weighting. Zero
 	// disables the respective bound. TauMin must not exceed TauMax.
 	TauMin, TauMax float64
-	// StopAfterStagnantTours, when positive, ends the run early once this
-	// many consecutive tours fail to improve the best objective — the
-	// adaptive stopping rule suggested by the paper's conclusion for
-	// taming the colony's running time. Zero runs all Tours.
+	// StopAfterStagnantTours ("stall tours"), when positive, ends the run
+	// early once this many consecutive tours fail to improve the best
+	// objective — the adaptive stopping rule suggested by the paper's
+	// conclusion for taming the colony's running time, and the knob that
+	// turns a warm start into actual wall-clock savings (a warmed colony
+	// typically reaches its target in the first tours and then stalls).
+	// Zero runs all Tours.
 	StopAfterStagnantTours int
+	// Warm, when non-nil, warm-starts the colony from a prior run's
+	// exported State: the carried pheromone rows replace the flat Tau0
+	// prior (renormalised per row and clamped to TauMin/TauMax), the
+	// carried elite is deposited before tour 0, and — when it is still a
+	// valid layering — becomes the incumbent and the base layering of
+	// tour 1. See Colony.applyWarm for the exact rules. The state must
+	// live in this graph's vertex index space; carry it across a graph
+	// edit with MapByName + State.Remap first. Nil (the default) is a
+	// cold start: the colony is bit-identical to one built before this
+	// field existed. The warm run remains a pure function of (graph,
+	// Params, Warm): same state, same delta, same seed — same bytes.
+	Warm *State
+	// ExportState asks Finalize to attach the colony's final State to
+	// the Result, so the serving layer can cache it for the next warm
+	// start. Off by default: exporting deep-copies the pheromone matrix.
+	ExportState bool
 	// Workers is the number of goroutines constructing ant tours
 	// concurrently within a tour. Zero (the default) uses one worker per
 	// available CPU (GOMAXPROCS); one runs the colony sequentially. The

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+)
+
+func vertexNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	return names
+}
+
+func TestMapByName(t *testing.T) {
+	old := []string{"a", "b", "c", "b"}
+	cur := []string{"c", "x", "a", "b"}
+	got := MapByName(old, cur)
+	// Duplicate "b" in old: the lowest index (1) wins; "x" is new.
+	want := []int{2, -1, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MapByName = %v, want %v", got, want)
+	}
+}
+
+func TestStateRemap(t *testing.T) {
+	s := &State{
+		L:         3,
+		Tau:       [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+		Assign:    []int{1, 2, 3},
+		Objective: 0.25,
+	}
+	// New graph: vertex 0 was old 2, vertex 1 is new, vertex 2 was old 0.
+	got := s.Remap([]int{2, -1, 0}, 3)
+	if got.L != 3 || got.Objective != 0.25 {
+		t.Errorf("L/Objective not carried: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Tau[0], []float64{7, 8, 9}) {
+		t.Errorf("row 0 = %v, want old row 2", got.Tau[0])
+	}
+	if got.Tau[1] != nil {
+		t.Errorf("new vertex row = %v, want nil (no information)", got.Tau[1])
+	}
+	if !reflect.DeepEqual(got.Tau[2], []float64{1, 2, 3}) {
+		t.Errorf("row 2 = %v, want old row 0", got.Tau[2])
+	}
+	if !reflect.DeepEqual(got.Assign, []int{3, 0, 1}) {
+		t.Errorf("Assign = %v, want [3 0 1]", got.Assign)
+	}
+	// Remapping must not alias the source.
+	got.Tau[0][0] = -1
+	if s.Tau[2][0] != 7 {
+		t.Error("Remap aliased the source matrix")
+	}
+}
+
+// TestWarmUnsteppedReproducesCold is the warm-start determinism golden:
+// feeding a finished run's State back into a colony over the identical
+// graph makes the cold run's best layering the warm colony's base, so a
+// warm colony that steps zero tours finalizes to the cold result —
+// byte-identical layering, bit-identical objective. This is the
+// replay-safety property the serving layer's lineage-keyed result cache
+// builds on.
+func TestWarmUnsteppedReproducesCold(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams()
+		p.Seed = seed
+		p.ExportState = true
+		cold, err := Run(context.Background(), g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.State == nil {
+			t.Fatal("ExportState set but Result.State is nil")
+		}
+
+		wp := p
+		wp.Warm = cold.State
+		c, err := NewColony(g, wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := c.Finalize() // zero tours: pure replay of the carried elite
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Objective != cold.Objective {
+			t.Errorf("seed %d: warm replay objective %v, cold %v", seed, warm.Objective, cold.Objective)
+		}
+		if warm.Layering.String() != cold.Layering.String() {
+			t.Errorf("seed %d: warm replay layering diverges:\n%s\n%s",
+				seed, warm.Layering, cold.Layering)
+		}
+		if warm.Height != cold.Height || warm.Width != cold.Width {
+			t.Errorf("seed %d: warm replay H/W (%d,%g), cold (%d,%g)",
+				seed, warm.Height, warm.Width, cold.Height, cold.Width)
+		}
+	}
+}
+
+// TestWarmRunDeterministic: a warm run is a pure function of (graph,
+// Params, Warm) — same state, same seed, same bytes — at any worker
+// count.
+func TestWarmRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(30), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Seed = 99
+	p.ExportState = true
+	cold, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		wp := p
+		wp.Warm = cold.State
+		wp.Workers = workers
+		res, err := Run(context.Background(), g, wp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%s|%v|%d|%v", res.Layering, res.Objective, res.BestTour, res.History)
+	}
+	first := run(1)
+	for _, workers := range []int{1, 2, 4} {
+		if got := run(workers); got != first {
+			t.Errorf("warm run diverges at %d workers:\n%s\n%s", workers, got, first)
+		}
+	}
+}
+
+// TestWarmNeverWorseThanCarriedState: the warm run's objective is at
+// least the carried state's (the elite becomes the incumbent), even
+// across a graph edit when the edited elite remains a valid layering.
+func TestWarmNeverWorseThanCarriedState(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Seed = 5
+	p.ExportState = true
+	cold, err := Run(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := p
+	wp.Warm = cold.State
+	wp.Tours = 1
+	warm, err := Run(context.Background(), g, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Objective < cold.Objective {
+		t.Errorf("warm objective %v below carried %v", warm.Objective, cold.Objective)
+	}
+}
+
+// TestWarmStartToursToTarget is the PR's headline acceptance: across a
+// one-edit graph delta, a warm-started colony reaches the objective a
+// cold colony needs its full tour budget for, in at most a third of the
+// tours — on both the sparse (short-edge) and pipeline (long-edge,
+// dummy-dominated) corpus families. The seeds are pinned; the numbers
+// feed EXPERIMENTS.md "Warm-start vs cold".
+func TestWarmStartToursToTarget(t *testing.T) {
+	const coldTours = 30
+	families := []struct {
+		name string
+		gen  func(rng *rand.Rand) (*dag.Graph, error)
+	}{
+		{"sparse", func(rng *rand.Rand) (*dag.Graph, error) {
+			return graphgen.Generate(graphgen.DefaultConfig(50), rng)
+		}},
+		{"pipeline", func(rng *rand.Rand) (*dag.Graph, error) {
+			return graphgen.Pipeline(50, 0.4, rng)
+		}},
+	}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			g0, err := fam.gen(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names0 := vertexNames(g0.N())
+			g1, names1, _, err := graphgen.Mutate(g0, names0, 1, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			p := DefaultParams()
+			p.Seed = 23
+			p.Tours = coldTours
+
+			// The target: what a cold run achieves on the edited graph
+			// with the full budget.
+			coldRef, err := Run(context.Background(), g1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The carried state: a finished run on the pre-edit graph.
+			sp := p
+			sp.ExportState = true
+			src, err := Run(context.Background(), g0, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			wp := p
+			wp.Tours = coldTours / 3
+			wp.Warm = src.State.Remap(MapByName(names0, names1), g1.N())
+			warm, err := Run(context.Background(), g1, wp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Objective < coldRef.Objective {
+				t.Errorf("%s: warm run (%d tours) objective %v below cold target %v (%d tours)",
+					fam.name, wp.Tours, warm.Objective, coldRef.Objective, coldTours)
+			}
+			t.Logf("%s: cold %d tours -> %.6f; warm %d tours -> %.6f",
+				fam.name, coldTours, coldRef.Objective, wp.Tours, warm.Objective)
+		})
+	}
+}
+
+// TestWarmTolerantOfGarbageState: hand-built states with wrong shapes,
+// non-finite values and invalid assignments must not crash a colony or
+// corrupt its layering.
+func TestWarmTolerantOfGarbageState(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(20), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []*State{
+		{},
+		{L: 3},
+		{L: 1000, Tau: [][]float64{{math.NaN(), math.Inf(1), -5, 0}}, Assign: []int{999}, Objective: 0.5},
+		{L: 2, Tau: make([][]float64, 100), Assign: make([]int, 100), Objective: math.Inf(1)},
+		{L: 4, Tau: [][]float64{nil, {}, {1}}, Assign: []int{-3, 7, 0}, Objective: math.NaN()},
+	}
+	for i, s := range states {
+		p := DefaultParams()
+		p.Seed = int64(i)
+		p.Tours = 2
+		p.Warm = s
+		res, err := Run(context.Background(), g, p)
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		if err := res.Layering.Validate(); err != nil {
+			t.Errorf("state %d: invalid layering: %v", i, err)
+		}
+	}
+}
+
+// FuzzStateRemap: for arbitrary state shapes, values and mappings,
+// Remap never panics and a colony warm-started from the remapped state
+// always produces a valid layering.
+func FuzzStateRemap(f *testing.F) {
+	f.Add(int64(1), 5, 10, 8, 1.0)
+	f.Add(int64(2), 0, 3, 0, -1.0)
+	f.Add(int64(3), 200, 1, 50, math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed int64, sL, sN, mapN int, obj float64) {
+		if sL < 0 || sL > 300 || sN < 0 || sN > 300 || mapN < 0 || mapN > 300 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := &State{L: sL, Objective: obj, Tau: make([][]float64, sN), Assign: make([]int, sN)}
+		for v := 0; v < sN; v++ {
+			if rng.Intn(5) == 0 {
+				continue // nil row
+			}
+			row := make([]float64, rng.Intn(sL+2))
+			for i := range row {
+				switch rng.Intn(6) {
+				case 0:
+					row[i] = math.NaN()
+				case 1:
+					row[i] = math.Inf(1 - 2*rng.Intn(2))
+				case 2:
+					row[i] = -rng.Float64()
+				default:
+					row[i] = rng.Float64() * 10
+				}
+			}
+			s.Tau[v] = row
+			s.Assign[v] = rng.Intn(2*sL+3) - sL - 1
+		}
+		mapping := make([]int, mapN)
+		for i := range mapping {
+			mapping[i] = rng.Intn(sN+3) - 2 // includes -2, -1 and out-of-range
+		}
+
+		g, err := graphgen.Generate(graphgen.DefaultConfig(mapN+1), rng)
+		if err != nil {
+			t.Skip()
+		}
+		remapped := s.Remap(mapping, g.N())
+		p := DefaultParams()
+		p.Seed = seed
+		p.Tours = 1
+		p.Ants = 2
+		p.Warm = remapped
+		res, err := Run(context.Background(), g, p)
+		if err != nil {
+			t.Fatalf("warm run failed: %v", err)
+		}
+		if err := res.Layering.Validate(); err != nil {
+			t.Errorf("invalid layering from fuzzed warm state: %v", err)
+		}
+	})
+}
+
+// BenchmarkWarmStart measures a warm-started run against the serving
+// defaults (a third of the cold tour budget, stall-tours 3) at
+// increasing graph-edit distance from the carried state. The cold run
+// it amortises is BenchmarkWarmStartCold.
+func benchmarkWarmStart(b *testing.B, edits int) {
+	rng := rand.New(rand.NewSource(31))
+	g0, err := graphgen.Generate(graphgen.DefaultConfig(60), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names0 := vertexNames(g0.N())
+	g1, names1 := g0, names0
+	if edits > 0 {
+		g1, names1, _, err = graphgen.Mutate(g0, names0, edits, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := DefaultParams()
+	p.Seed = 61
+	p.Tours = 30
+	p.ExportState = true
+	src, err := Run(context.Background(), g0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wp := DefaultParams()
+	wp.Seed = 61
+	wp.Tours = 10
+	wp.StopAfterStagnantTours = 3
+	wp.Warm = src.State.Remap(MapByName(names0, names1), g1.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), g1, wp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarmStartIdentical(b *testing.B) { benchmarkWarmStart(b, 0) }
+func BenchmarkWarmStartOneEdge(b *testing.B)   { benchmarkWarmStart(b, 1) }
+func BenchmarkWarmStartTenEdges(b *testing.B)  { benchmarkWarmStart(b, 10) }
+
+// BenchmarkWarmStartCold is the reference the WarmStart benchmarks are
+// read against: the same graph family and budget, no carried state.
+func BenchmarkWarmStartCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	g, err := graphgen.Generate(graphgen.DefaultConfig(60), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Seed = 61
+	p.Tours = 30
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"antlayer/internal/core"
+	"antlayer/internal/dag"
+	"antlayer/internal/graphgen"
+	"antlayer/internal/stats"
+)
+
+// WarmResult is one row of the warm-vs-cold study: for one corpus family
+// and edit distance, means over the study's instances. "Cold" runs the
+// full tour budget from the LPL seed on the edited graph; "warm" seeds
+// the colony with the pheromone state exported by a full-budget run on
+// the pre-edit base graph (remapped by vertex name), with a third of the
+// tour budget and the stall-tours early stop — the serving daemon's
+// warm-start configuration.
+type WarmResult struct {
+	Family string
+	Edits  int
+	// ColdObjective / WarmObjective are mean best objectives f=1/(H+W).
+	ColdObjective float64
+	WarmObjective float64
+	// ColdTours / WarmTours are mean executed tours (early stop counts).
+	ColdTours float64
+	WarmTours float64
+	// ColdMillis / WarmMillis are mean wall-clock times of the runs.
+	ColdMillis float64
+	WarmMillis float64
+	// ReachedPct is the share of instances whose warm run matched or beat
+	// the cold reference's objective.
+	ReachedPct float64
+}
+
+// warmBase builds one base graph of the family for the study. Only the
+// families the warm-start acceptance pins (sparse and pipeline) are
+// supported; anything else falls back to sparse.
+func warmBase(family graphgen.Family, n int, rng *rand.Rand) (*dag.Graph, error) {
+	if family == graphgen.PipelineFamily {
+		return graphgen.Pipeline(n, 0.4, rng)
+	}
+	return graphgen.Generate(graphgen.DefaultConfig(n), rng)
+}
+
+// WarmStudy measures pheromone-reuse: for each family and edit count it
+// runs `instances` independent (base, edited) pairs and compares a warm
+// third-budget run against a cold full-budget reference on the same
+// edited graph with the same seed.
+func WarmStudy(opts Options, families []graphgen.Family, editCounts []int, instances int) ([]WarmResult, error) {
+	opts = opts.normalized()
+	if instances < 1 {
+		instances = 1
+	}
+	const n = 50
+	var out []WarmResult
+	for _, family := range families {
+		for _, edits := range editCounts {
+			row := WarmResult{Family: family.String(), Edits: edits}
+			reached := 0
+			for i := 0; i < instances; i++ {
+				rng := rand.New(rand.NewSource(opts.Seed + int64(i)*101 + int64(edits)))
+				base, err := warmBase(family, n, rng)
+				if err != nil {
+					return nil, err
+				}
+				names := make([]string, base.N())
+				for v := range names {
+					names[v] = fmt.Sprintf("v%d", v)
+				}
+				edited, editedNames := base, names
+				if edits > 0 {
+					edited, editedNames, _, err = graphgen.Mutate(base, names, edits, rng)
+					if err != nil {
+						return nil, err
+					}
+				}
+
+				// Full-budget run on the base graph, exporting its state.
+				src := opts.ACO
+				src.Seed = opts.Seed + int64(i)
+				src.ExportState = true
+				srcCol, err := core.NewColony(base, src)
+				if err != nil {
+					return nil, err
+				}
+				srcRes, err := srcCol.Run()
+				if err != nil {
+					return nil, err
+				}
+
+				// Cold reference on the edited graph.
+				cold := opts.ACO
+				cold.Seed = opts.Seed + int64(i) + 7
+				coldCol, err := core.NewColony(edited, cold)
+				if err != nil {
+					return nil, err
+				}
+				coldStart := time.Now()
+				coldRes, err := coldCol.Run()
+				if err != nil {
+					return nil, err
+				}
+				row.ColdMillis += float64(time.Since(coldStart).Nanoseconds()) / 1e6 / float64(instances)
+				row.ColdObjective += coldRes.Objective / float64(instances)
+				row.ColdTours += float64(coldCol.ToursRun()) / float64(instances)
+
+				// Warm run: same edited graph and seed, the base state
+				// remapped by name, a third of the budget, stall early stop.
+				warm := cold
+				warm.Warm = srcRes.State.Remap(core.MapByName(names, editedNames), edited.N())
+				warm.Tours = int(math.Ceil(float64(cold.Tours) / 3))
+				if warm.Tours < 1 {
+					warm.Tours = 1
+				}
+				warm.StopAfterStagnantTours = 3
+				warmCol, err := core.NewColony(edited, warm)
+				if err != nil {
+					return nil, err
+				}
+				warmStart := time.Now()
+				warmRes, err := warmCol.Run()
+				if err != nil {
+					return nil, err
+				}
+				row.WarmMillis += float64(time.Since(warmStart).Nanoseconds()) / 1e6 / float64(instances)
+				row.WarmObjective += warmRes.Objective / float64(instances)
+				row.WarmTours += float64(warmCol.ToursRun()) / float64(instances)
+				if warmRes.Objective >= coldRes.Objective {
+					reached++
+				}
+			}
+			row.ReachedPct = 100 * float64(reached) / float64(instances)
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// WriteWarmTable formats the warm-vs-cold study.
+func WriteWarmTable(w io.Writer, results []WarmResult) error {
+	if _, err := fmt.Fprintln(w, "Warm-start study: pheromone reuse across graph edits (cold = full budget, warm = 1/3 budget + stall stop)"); err != nil {
+		return err
+	}
+	headers := []string{"family", "edits", "cold obj", "warm obj", "reached", "cold tours", "warm tours", "cold ms", "warm ms"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Family,
+			fmt.Sprintf("%d", r.Edits),
+			fmt.Sprintf("%.6f", r.ColdObjective),
+			fmt.Sprintf("%.6f", r.WarmObjective),
+			fmt.Sprintf("%.0f%%", r.ReachedPct),
+			fmt.Sprintf("%.1f", r.ColdTours),
+			fmt.Sprintf("%.1f", r.WarmTours),
+			fmt.Sprintf("%.3f", r.ColdMillis),
+			fmt.Sprintf("%.3f", r.WarmMillis),
+		})
+	}
+	return stats.WriteAligned(w, headers, rows)
+}

@@ -73,6 +73,12 @@ const (
 	// vertices induced by edge spans outnumber the real vertices, so
 	// dummy width dominates the width objective.
 	PipelineFamily
+	// DeltaFamily builds edit chains: each group's first graph is a
+	// Sparse base and every following graph is the previous one with a
+	// few Mutate edits — the repeat-with-edits workload the warm-start
+	// serving path targets. Unlike the other families, graphs within a
+	// group are deliberately correlated.
+	DeltaFamily
 )
 
 func (f Family) String() string {
@@ -89,6 +95,8 @@ func (f Family) String() string {
 		return "series-parallel"
 	case PipelineFamily:
 		return "pipeline"
+	case DeltaFamily:
+		return "delta"
 	default:
 		return fmt.Sprintf("Family(%d)", int(f))
 	}
@@ -109,8 +117,10 @@ func ParseFamily(s string) (Family, error) {
 		return SeriesParallelFamily, nil
 	case "pipeline":
 		return PipelineFamily, nil
+	case "delta":
+		return DeltaFamily, nil
 	default:
-		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense|series-parallel|pipeline)", s)
+		return Sparse, fmt.Errorf("graphgen: unknown corpus family %q (want sparse|trees|layered|dense|series-parallel|pipeline|delta)", s)
 	}
 }
 
@@ -167,8 +177,26 @@ func CorpusFamily(seed int64, perGroup int, family Family) ([]Group, error) {
 		}
 		groups[i].Vertices = n
 		groups[i].Graphs = make([]*dag.Graph, count)
+		// Delta chains carry per-graph name tables through the group; the
+		// other families are memoryless.
+		var chainNames []string
 		for j := range groups[i].Graphs {
-			g, err := family.generate(n, rng)
+			var g *dag.Graph
+			var err error
+			if family == DeltaFamily && j > 0 {
+				// Three edits per step: small enough that the chain stays
+				// near the base (high warm similarity), large enough that
+				// every step really recomputes.
+				g, chainNames, _, err = Mutate(groups[i].Graphs[j-1], chainNames, 3, rng)
+			} else {
+				g, err = family.generate(n, rng)
+				if family == DeltaFamily {
+					chainNames = make([]string, g.N())
+					for v := range chainNames {
+						chainNames[v] = fmt.Sprintf("v%d", v)
+					}
+				}
+			}
 			if err != nil {
 				return nil, fmt.Errorf("graphgen: corpus group %d graph %d: %w", i, j, err)
 			}

@@ -1,0 +1,273 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"antlayer/internal/dag"
+)
+
+// This file generates *edit scripts*: small seeded mutations of an
+// existing DAG that keep vertex names stable across the edit. The warm-
+// start machinery (core.State, server warm cache) carries pheromone
+// state between runs by matching vertex names, so a benchmark or chaos
+// scenario that wants realistic repeat-with-edits traffic needs graphs
+// that really are "the previous graph, lightly edited" — not fresh
+// samples from the same distribution. Mutate is that generator;
+// DeltaChain strings its output into the chains the delta corpus family
+// and the edit-stream chaos scenario replay.
+
+// EditOp is the kind of one graph edit.
+type EditOp string
+
+const (
+	// EditAddEdge adds one edge between two existing vertices, oriented
+	// so the graph stays acyclic.
+	EditAddEdge EditOp = "add-edge"
+	// EditRemoveEdge removes one existing edge.
+	EditRemoveEdge EditOp = "remove-edge"
+	// EditAddLeaf adds one fresh vertex with a single edge to or from an
+	// existing vertex.
+	EditAddLeaf EditOp = "add-leaf"
+	// EditRemoveLeaf removes one vertex of degree <= 1 (and its edge).
+	EditRemoveLeaf EditOp = "remove-leaf"
+)
+
+// Edit records one applied mutation, in vertex names (names are the
+// stable identity across edits; indices shift when vertices go away).
+// For edge edits U -> V is the edge; for leaf edits U is the leaf and V
+// its neighbour ("" for an isolated leaf removal).
+type Edit struct {
+	Op EditOp `json:"op"`
+	U  string `json:"u"`
+	V  string `json:"v,omitempty"`
+}
+
+// Mutate applies `edits` random edits to (g, names) and returns the
+// edited graph, its name table and the script that was applied. The
+// input graph is not modified. Vertices keep their names across the
+// edit (indices may shift when a leaf is removed); added leaves get
+// fresh "m<k>" names that never collide with existing ones. The result
+// is acyclic by construction — added edges are oriented along the
+// existing reachability order — and deterministic in (g, names, edits,
+// rng state).
+func Mutate(g *dag.Graph, names []string, edits int, rng *rand.Rand) (*dag.Graph, []string, []Edit, error) {
+	if g == nil {
+		return nil, nil, nil, fmt.Errorf("graphgen: Mutate needs a graph")
+	}
+	if len(names) != g.N() {
+		return nil, nil, nil, fmt.Errorf("graphgen: Mutate: %d names for %d vertices", len(names), g.N())
+	}
+	if edits < 0 {
+		return nil, nil, nil, fmt.Errorf("graphgen: Mutate: edits must be >= 0, got %d", edits)
+	}
+	// Mutable working copy: a name list and an index-pair edge list.
+	// dag.Graph is append-only, so edits happen here and the graph is
+	// rebuilt once at the end.
+	nodes := append([]string(nil), names...)
+	edges := g.Edges()
+	used := make(map[string]struct{}, len(nodes))
+	for _, n := range nodes {
+		used[n] = struct{}{}
+	}
+	freshSeq := 0
+	fresh := func() string {
+		for {
+			name := fmt.Sprintf("m%d", freshSeq)
+			freshSeq++
+			if _, ok := used[name]; !ok {
+				used[name] = struct{}{}
+				return name
+			}
+		}
+	}
+	script := make([]Edit, 0, edits)
+	ops := []EditOp{EditAddEdge, EditRemoveEdge, EditAddLeaf, EditRemoveLeaf}
+	for len(script) < edits {
+		applied := false
+		// One rng draw picks the op; infeasible ops fall through to the
+		// next in rotation so the loop always terminates (add-leaf is
+		// always feasible).
+		start := rng.Intn(len(ops))
+		for k := 0; k < len(ops) && !applied; k++ {
+			switch ops[(start+k)%len(ops)] {
+			case EditAddEdge:
+				if e, ok := tryAddEdge(nodes, &edges, rng); ok {
+					script = append(script, e)
+					applied = true
+				}
+			case EditRemoveEdge:
+				if len(edges) > 0 {
+					i := rng.Intn(len(edges))
+					e := edges[i]
+					edges = append(edges[:i], edges[i+1:]...)
+					script = append(script, Edit{Op: EditRemoveEdge, U: nodes[e.U], V: nodes[e.V]})
+					applied = true
+				}
+			case EditAddLeaf:
+				leaf := fresh()
+				nodes = append(nodes, leaf)
+				id := len(nodes) - 1
+				t := rng.Intn(id)
+				if rng.Intn(2) == 0 {
+					edges = append(edges, dag.Edge{U: id, V: t})
+				} else {
+					edges = append(edges, dag.Edge{U: t, V: id})
+				}
+				script = append(script, Edit{Op: EditAddLeaf, U: leaf, V: nodes[t]})
+				applied = true
+			case EditRemoveLeaf:
+				if e, ok := tryRemoveLeaf(&nodes, &edges, used, rng); ok {
+					script = append(script, e)
+					applied = true
+				}
+			}
+		}
+	}
+	out := dag.New(len(nodes))
+	for _, e := range edges {
+		out.MustAddEdge(e.U, e.V)
+	}
+	return out, nodes, script, nil
+}
+
+// tryAddEdge samples vertex pairs until it finds one with no edge in
+// either direction, then orients the new edge along the existing
+// reachability order so no cycle can form. Gives up (graph too small or
+// effectively complete) after a bounded number of misses.
+func tryAddEdge(nodes []string, edges *[]dag.Edge, rng *rand.Rand) (Edit, bool) {
+	n := len(nodes)
+	if n < 2 {
+		return Edit{}, false
+	}
+	has := make(map[[2]int]struct{}, len(*edges))
+	succ := make(map[int][]int, n)
+	for _, e := range *edges {
+		has[[2]int{e.U, e.V}] = struct{}{}
+		succ[e.U] = append(succ[e.U], e.V)
+	}
+	for tries := 0; tries < 8*n+32; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, ok := has[[2]int{u, v}]; ok {
+			continue
+		}
+		if _, ok := has[[2]int{v, u}]; ok {
+			continue
+		}
+		// u -> v closes a cycle exactly when v already reaches u; flip
+		// the edge in that case (v -> u then runs along the existing
+		// order). Both directions cannot be unsafe — that would be a
+		// cycle already.
+		if reaches(succ, v, u, n) {
+			u, v = v, u
+		}
+		*edges = append(*edges, dag.Edge{U: u, V: v})
+		return Edit{Op: EditAddEdge, U: nodes[u], V: nodes[v]}, true
+	}
+	return Edit{}, false
+}
+
+// reaches reports whether `from` reaches `to` over succ (iterative DFS).
+func reaches(succ map[int][]int, from, to, n int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range succ[v] {
+			if w == to {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// tryRemoveLeaf removes a random vertex of degree <= 1 together with
+// its incident edge, keeping at least one vertex in the graph.
+func tryRemoveLeaf(nodes *[]string, edges *[]dag.Edge, used map[string]struct{}, rng *rand.Rand) (Edit, bool) {
+	n := len(*nodes)
+	if n < 2 {
+		return Edit{}, false
+	}
+	degree := make([]int, n)
+	for _, e := range *edges {
+		degree[e.U]++
+		degree[e.V]++
+	}
+	var leaves []int
+	for v := 0; v < n; v++ {
+		if degree[v] <= 1 {
+			leaves = append(leaves, v)
+		}
+	}
+	if len(leaves) == 0 {
+		return Edit{}, false
+	}
+	r := leaves[rng.Intn(len(leaves))]
+	edit := Edit{Op: EditRemoveLeaf, U: (*nodes)[r]}
+	kept := (*edges)[:0]
+	for _, e := range *edges {
+		if e.U == r || e.V == r {
+			if e.U == r {
+				edit.V = (*nodes)[e.V]
+			} else {
+				edit.V = (*nodes)[e.U]
+			}
+			continue
+		}
+		if e.U > r {
+			e.U--
+		}
+		if e.V > r {
+			e.V--
+		}
+		kept = append(kept, e)
+	}
+	*edges = kept
+	delete(used, (*nodes)[r])
+	*nodes = append((*nodes)[:r], (*nodes)[r+1:]...)
+	return edit, true
+}
+
+// DeltaChain generates a chain of `length` graphs: a Sparse base with n
+// vertices named "v0".."v<n-1>", then length-1 successive Mutate steps
+// of `edits` edits each. Chains model repeat-with-edits traffic — the
+// workload the warm-start path exists for — and are deterministic in
+// (seed, n, length, edits).
+func DeltaChain(seed int64, n, length, edits int) ([]*dag.Graph, [][]string, error) {
+	if length < 1 {
+		return nil, nil, fmt.Errorf("graphgen: DeltaChain needs length >= 1, got %d", length)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base, err := Generate(DefaultConfig(n), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, base.N())
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	graphs := []*dag.Graph{base}
+	tables := [][]string{names}
+	for len(graphs) < length {
+		g, nm, _, err := Mutate(graphs[len(graphs)-1], tables[len(tables)-1], edits, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		graphs = append(graphs, g)
+		tables = append(tables, nm)
+	}
+	return graphs, tables, nil
+}

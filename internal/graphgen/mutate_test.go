@@ -1,0 +1,158 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMutateInvariants: for many seeds and edit counts, the edited graph
+// is a valid acyclic DAG, its name table matches its vertex count with
+// no duplicate names, and the script length equals the requested edits.
+func TestMutateInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base, err := Generate(DefaultConfig(20), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, base.N())
+		for i := range names {
+			names[i] = fmt.Sprintf("v%d", i)
+		}
+		g, nm := base, names
+		for step := 0; step < 5; step++ {
+			edits := 1 + int(seed)%7
+			var script []Edit
+			g, nm, script, err = Mutate(g, nm, edits, rng)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if len(script) != edits {
+				t.Fatalf("seed %d step %d: %d edits applied, want %d", seed, step, len(script), edits)
+			}
+			if len(nm) != g.N() {
+				t.Fatalf("seed %d step %d: %d names for %d vertices", seed, step, len(nm), g.N())
+			}
+			seen := make(map[string]bool, len(nm))
+			for _, n := range nm {
+				if seen[n] {
+					t.Fatalf("seed %d step %d: duplicate name %q", seed, step, n)
+				}
+				seen[n] = true
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if !g.IsAcyclic() {
+				t.Fatalf("seed %d step %d: mutation introduced a cycle", seed, step)
+			}
+		}
+	}
+}
+
+// TestMutateDeterministic: the same (graph, names, edits, rng seed)
+// yields the same graph, name table and script.
+func TestMutateDeterministic(t *testing.T) {
+	base, err := Generate(DefaultConfig(30), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, base.N())
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	run := func() (string, string) {
+		g, nm, script, err := Mutate(base, names, 8, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.String() + fmt.Sprint(nm), fmt.Sprint(script)
+	}
+	g1, s1 := run()
+	g2, s2 := run()
+	if g1 != g2 || s1 != s2 {
+		t.Errorf("Mutate is not deterministic:\n%s\n%s\nscripts:\n%s\n%s", g1, g2, s1, s2)
+	}
+}
+
+// TestMutateDoesNotModifyInput: the input graph and name slice are
+// untouched.
+func TestMutateDoesNotModifyInput(t *testing.T) {
+	base, err := Generate(DefaultConfig(15), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, base.N())
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	before := base.String() + fmt.Sprint(names)
+	if _, _, _, err := Mutate(base, names, 10, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	if after := base.String() + fmt.Sprint(names); after != before {
+		t.Errorf("Mutate modified its input:\nbefore: %s\nafter: %s", before, after)
+	}
+}
+
+// TestDeltaChainOverlap: consecutive chain graphs share most of their
+// vertex names — the property the warm-start similarity probe keys on.
+func TestDeltaChainOverlap(t *testing.T) {
+	graphs, tables, err := DeltaChain(7, 40, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 6 || len(tables) != 6 {
+		t.Fatalf("chain length %d/%d, want 6", len(graphs), len(tables))
+	}
+	for i := 1; i < len(tables); i++ {
+		prev := make(map[string]bool, len(tables[i-1]))
+		for _, n := range tables[i-1] {
+			prev[n] = true
+		}
+		shared := 0
+		for _, n := range tables[i] {
+			if prev[n] {
+				shared++
+			}
+		}
+		max := len(tables[i])
+		if len(tables[i-1]) > max {
+			max = len(tables[i-1])
+		}
+		if sim := float64(shared) / float64(max); sim < 0.8 {
+			t.Errorf("step %d: name overlap %.2f, want >= 0.8 (2 edits on 40 vertices)", i, sim)
+		}
+	}
+}
+
+// TestDeltaFamilyCorpus: the delta family produces valid, deterministic
+// groups whose graphs stay near the group's nominal vertex count.
+func TestDeltaFamilyCorpus(t *testing.T) {
+	groups, err := CorpusFamily(11, 4, DeltaFamily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups2, err := CorpusFamily(11, 4, DeltaFamily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gr := range groups {
+		for j, g := range gr.Graphs {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("group %d graph %d: %v", i, j, err)
+			}
+			if !g.IsAcyclic() {
+				t.Fatalf("group %d graph %d: cyclic", i, j)
+			}
+			// 3 edits per step, 3 steps: drift is bounded.
+			if d := g.N() - gr.Vertices; d < -9 || d > 9 {
+				t.Errorf("group %d graph %d: %d vertices, nominal %d", i, j, g.N(), gr.Vertices)
+			}
+			if !g.Equal(groups2[i].Graphs[j]) {
+				t.Errorf("group %d graph %d: delta corpus is not deterministic", i, j)
+			}
+		}
+	}
+}

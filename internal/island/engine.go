@@ -110,6 +110,12 @@ type Report struct {
 	Width  float64 `json:"width"`
 	// History holds the island's per-tour statistics.
 	History []core.TourStats `json:"history,omitempty"`
+	// State is the island's final search state, present only when the
+	// run's Colony.ExportState asked for it. Like every other field it
+	// round-trips through JSON bit-exactly, so a distributed run's
+	// winning state warm-starts the next run byte-identically to an
+	// in-process one.
+	State *core.State `json:"state,omitempty"`
 }
 
 // Engine is the pure epoch engine: the slice of an archipelago's islands
@@ -254,6 +260,7 @@ func (e *Engine) Finalize() ([]Report, error) {
 			Height:    r.Height,
 			Width:     r.Width,
 			History:   r.History,
+			State:     r.State,
 		}
 	}
 	return reports, nil
@@ -329,6 +336,10 @@ func Assemble(g *dag.Graph, p Params, reports []Report, migrations int) (*Result
 				Width:     l.WidthIncludingDummies(p.Colony.DummyWidth),
 				BestTour:  r.BestTour,
 				History:   r.History,
+				// The winning island's state is the one the next warm
+				// start resumes from — it is the matrix that produced
+				// the served layering.
+				State: r.State,
 			}
 		}
 	}

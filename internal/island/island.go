@@ -51,7 +51,13 @@ type Params struct {
 	// Colony configures every island's colony: each island runs
 	// Colony.Tours tours with Colony.Ants ants, so an island run spends
 	// Islands × Tours × Ants walks in total. Colony.Seed is the master
-	// seed the per-island seeds are derived from.
+	// seed the per-island seeds are derived from. Colony.Warm, when set,
+	// warm-starts every island from the same carried state (each island
+	// copies the values out; the State itself is never mutated), and
+	// Colony.ExportState makes each Report carry its island's final
+	// state — both ride the run frame unchanged when the archipelago is
+	// sharded over a worker fleet, so distributed runs warm-start
+	// byte-identically to in-process ones.
 	Colony core.Params
 	// Islands is the number of colonies K (>= 1). With K = 1 the run
 	// degenerates to a single colony and no migration happens.

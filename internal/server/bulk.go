@@ -191,11 +191,13 @@ func (s *Server) bulkSubmitLine(lineNo int, raw []byte) (*batch.Job, bulkResult)
 		return fail("bad %s input: %v", req.Format, err)
 	}
 	key := requestKey(req, g, names)
+	gk := graphKey(g, names)
+	req, key, warm, _ := s.warmPlan(req, g, names, key, gk)
 	timeout := s.timeout(req)
 	job, err := s.jobs.SubmitLabeled(func(ctx context.Context) ([]byte, error) {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
-		body, _, _, err := s.computeCached(ctx, key, req, g, names, nil)
+		body, _, _, err := s.computeCached(ctx, key, req, g, names, gk, warm, nil)
 		return body, err
 	}, req.Labels...)
 	if err != nil {

@@ -188,7 +188,11 @@ func TestLayerDistributedConcurrentByteIdentical(t *testing.T) {
 		"algo=island&islands=2&tours=3&migration-interval=1&seed=41",
 		"algo=island&islands=2&tours=3&migration-interval=1&seed=42",
 	}
-	_, plainTS := newTestServer(t, Config{CacheSize: -1})
+	// Warm starting is off on both servers: the two requests share a graph,
+	// so the second would otherwise inherit the first's pheromone state —
+	// deterministically when sequential, timing-dependently when
+	// concurrent — and the bodies compared here would no longer be twins.
+	_, plainTS := newTestServer(t, Config{CacheSize: -1, WarmCacheBytes: -1})
 	want := make([][]byte, len(queries))
 	for i, q := range queries {
 		_, want[i] = postLayer(t, plainTS, q, demoDOT)
@@ -198,7 +202,7 @@ func TestLayerDistributedConcurrentByteIdentical(t *testing.T) {
 	// MaxConcurrent must exceed 1 explicitly: on a single-CPU machine the
 	// GOMAXPROCS default would serialize the requests at the compute
 	// semaphore before the scheduler ever sees the second run.
-	_, ts := newTestServer(t, Config{CacheSize: -1, MaxConcurrent: 4, Coordinator: coord})
+	_, ts := newTestServer(t, Config{CacheSize: -1, WarmCacheBytes: -1, MaxConcurrent: 4, Coordinator: coord})
 	type result struct {
 		i    int
 		code int

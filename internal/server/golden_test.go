@@ -27,6 +27,11 @@ const metricsGolden = `{
   "cache_entries": 20,
   "cache_bytes": 4096,
   "cache_oversize_rejects": 1,
+  "warm_hits": 9,
+  "warm_misses": 4,
+  "warm_tours_saved": 270,
+  "warm_entries": 6,
+  "warm_bytes": 8192,
   "coalesced": 5,
   "errors": 3,
   "timeouts": 2,
@@ -127,6 +132,11 @@ func TestMetricsSnapshotGoldenShape(t *testing.T) {
 		CacheEntries:         20,
 		CacheBytes:           4096,
 		CacheOversizeRejects: 1,
+		WarmHits:             9,
+		WarmMisses:           4,
+		WarmToursSaved:       270,
+		WarmEntries:          6,
+		WarmBytes:            8192,
 		Coalesced:            5,
 		Errors:               3,
 		Timeouts:             2,
@@ -203,7 +213,9 @@ func TestLiveMetricsServeGoldenKeys(t *testing.T) {
 		switch key {
 		case "uptime_seconds", "requests_total", "layer_requests", "cache_hits",
 			"cache_misses", "cache_hit_rate", "cache_entries", "cache_bytes",
-			"cache_oversize_rejects", "coalesced", "errors", "timeouts",
+			"cache_oversize_rejects", "warm_hits", "warm_misses",
+			"warm_tours_saved", "warm_entries", "warm_bytes",
+			"coalesced", "errors", "timeouts",
 			"tours_run", "in_flight", "latency_ms", "distributed_runs",
 			"distributed_fallbacks", "sse_streams", "sse_active",
 			"bulk_requests", "bulk_jobs", "jobs", "events", "webhooks", "runtime":

@@ -61,9 +61,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	// A job's trace spans its whole life: minted (or honored) at
 	// submission, finished when the job settles, so the queue wait is
-	// visible in the span breakdown.
-	tr := s.tracer.New(r.Header.Get("X-Request-ID"))
-	w.Header().Set("X-Request-ID", tr.ID())
+	// visible in the span breakdown. Head sampling (TraceSample) decides
+	// here; a sampled-out job still gets a request ID, just no trace.
+	var tr *obs.Trace
+	if s.sampleTrace() {
+		tr = s.tracer.New(r.Header.Get("X-Request-ID"))
+	}
+	w.Header().Set("X-Request-ID", s.requestID(r, tr))
 	parse := tr.Begin("parse")
 	req, g, names, ok := s.parseLayerHTTP(w, r)
 	parse.End()
@@ -72,6 +76,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := requestKey(req, g, names)
+	gk := graphKey(g, names)
+	wspan := tr.Begin("warm")
+	req, key, warm, _ := s.warmPlan(req, g, names, key, gk)
+	wspan.End()
 	timeout := s.timeout(req)
 	enqueued := tr.Since()
 	job, err := s.jobs.SubmitTraced(func(ctx context.Context) ([]byte, error) {
@@ -85,7 +93,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// once — or a job identical to an in-flight /layer request —
 		// share one computation and the result cache. No semaphore: the
 		// job worker pool is the compute bound here.
-		body, _, _, err := s.computeCached(ctx, key, req, g, names, nil)
+		body, _, _, err := s.computeCached(ctx, key, req, g, names, gk, warm, nil)
 		return body, err
 	}, tr.ID(), req.Labels...)
 	if err != nil {
@@ -103,7 +111,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log().Info("job submitted",
-		"job", job.ID(), "trace", tr.ID(), "n", g.N(), "m", g.M(), "algo", string(req.Algo))
+		"job", job.ID(), "trace", tr.ID(), "warm", warm != nil, "n", g.N(), "m", g.M(), "algo", string(req.Algo))
 	s.writeJobStatus(w, http.StatusAccepted, jobStatus{
 		ID:      job.ID(),
 		State:   string(batch.StateQueued),

@@ -56,6 +56,20 @@ type Request struct {
 	// excluded from the cache key. Ignored by the synchronous /layer.
 	Labels  []string
 	Timeout time.Duration // 0 = server default
+	// Warm permits the server's warm-start fast path for this request
+	// (the default): a colony request may be seeded from a cached state
+	// of the same or a similar graph and run on a reduced tour budget.
+	// warm=false forces a cold run. Like Distributed, the knob selects
+	// how the answer is computed, not what request it is, so it is
+	// excluded from the cache key — but a warm-started computation is
+	// cached under a lineage-suffixed key (see Server.warmPlan), never
+	// under the cold key, so cold replays stay byte-identical.
+	Warm bool
+	// Base names the warm-start lineage explicitly: the canonical graph
+	// hash (the X-Graph-Key answer of a previous request) whose cached
+	// state should seed this run, skipping the similarity probe. Empty
+	// means probe. Ignored when Warm is false.
+	Base string
 }
 
 // DefaultRequest returns the request every unset parameter falls back to.
@@ -67,6 +81,7 @@ func DefaultRequest() Request {
 		DummyWidth: 1,
 		CGWidth:    4,
 		ACO:        antlayer.DefaultACOParams(),
+		Warm:       true,
 	}
 }
 
@@ -114,7 +129,7 @@ func ParseRequest(q url.Values) (Request, error) {
 			req.ACO.Seed, err = strconv.ParseInt(v, 10, 64)
 		case "workers":
 			req.ACO.Workers, err = strconv.Atoi(v)
-		case "stop-stagnant":
+		case "stop-stagnant", "stall-tours": // two names, one knob
 			req.ACO.StopAfterStagnantTours, err = strconv.Atoi(v)
 		case "width-bound":
 			req.ACO.WidthBound, err = strconv.ParseFloat(v, 64)
@@ -130,6 +145,16 @@ func ParseRequest(q url.Values) (Request, error) {
 			}
 		case "distributed":
 			req.Distributed, err = strconv.ParseBool(v)
+		case "warm":
+			req.Warm, err = strconv.ParseBool(v)
+		case "base":
+			// A canonical graph hash (X-Graph-Key) is 64 hex characters;
+			// bound rather than fully validate, so the knob stays format-
+			// agnostic if the key scheme ever grows.
+			if v == "" || len(v) > 128 {
+				return req, fmt.Errorf("query parameter base=%q: want 1-128 characters", v)
+			}
+			req.Base = v
 		case "label":
 			// Repeatable: every value becomes a topic. Bounded so a
 			// hostile request cannot pin unbounded label bytes to a job.
@@ -174,6 +199,9 @@ func ParseRequest(q url.Values) (Request, error) {
 	if req.Distributed && req.Algo != "island" {
 		return req, fmt.Errorf("distributed=true requires algo=island, got algo=%q", req.Algo)
 	}
+	if req.Base != "" && req.Algo != "aco" && req.Algo != "island" {
+		return req, fmt.Errorf("base= requires a colony algorithm (aco|island), got algo=%q", req.Algo)
+	}
 	req.ACO.DummyWidth = req.DummyWidth
 	return req, nil
 }
@@ -194,13 +222,16 @@ func ParseGraph(req Request, body io.Reader) (*antlayer.Graph, []string, error) 
 // (vertex count, per-vertex width and name, edges sorted by endpoint) and
 // every parameter that determines the response body.
 //
-// Three fields are deliberately excluded. Workers: the layering is
+// Several fields are deliberately excluded. Workers: the layering is
 // bitwise-identical at any worker count (PR 1, and the island model keeps
 // the guarantee), so requests differing only in parallelism share a
 // result. Distributed: the sharded archipelago is byte-identical to the
 // in-process one at any worker-process count and partition (DESIGN.md
 // §10), so a distributed request and its local twin share one entry.
 // Timeout: it bounds the computation but does not parameterise it.
+// Warm/Base: they select how the server may compute the answer, not what
+// was asked; warm-started bodies live under a lineage-suffixed variant of
+// this key (Server.warmPlan), so the bare key always names the cold body.
 //
 // Edge order is canonicalised, so the same graph serialised in two edge
 // orders maps to one entry. Layer-width accumulation is floating-point and
@@ -209,6 +240,41 @@ func ParseGraph(req Request, body io.Reader) (*antlayer.Graph, []string, error) 
 // cache pins whichever was computed first, which keeps responses stable —
 // a feature, not a loss.
 func requestKey(req Request, g *antlayer.Graph, names []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "graph=%s\n", graphKey(g, names))
+	aco := req.ACO
+	aco.Workers = 0
+	// Warm and ExportState never parameterise the body of a *cold*
+	// computation (exporting is a side channel; Warm is nil on the cold
+	// path) and Warm is a pointer, whose %+v rendering would be an
+	// address — nondeterministic keys. A warm-started computation *does*
+	// have a different body; it is cached under this key plus a lineage
+	// suffix (Server.warmPlan), never under the bare key.
+	aco.Warm = nil
+	aco.ExportState = false
+	// The island knobs are canonicalised before hashing: for algo=island
+	// the resolved values (defaults applied) go in, so ?algo=island and
+	// ?algo=island&islands=4&migration-interval=2 — the same computation —
+	// share one entry; for every other algorithm they are zeroed, because
+	// they cannot influence the result.
+	islands, interval := 0, 0
+	if req.Algo == "island" {
+		ip := req.options().IslandOf()
+		islands, interval = ip.Islands, ip.MigrationInterval
+	}
+	fmt.Fprintf(h, "p algo=%s promote=%t render=%s dummyWidth=%g cgWidth=%d islands=%d interval=%d aco=%+v\n",
+		req.Algo, req.Promote, req.Render, req.DummyWidth, req.CGWidth,
+		islands, interval, aco)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// graphKey is the canonical hash of the graph alone — vertex count,
+// per-vertex width and name, edges sorted by endpoint — shared by the
+// result-cache key (which appends the parameters) and the warm-state
+// cache (which is parameter-free: a pheromone matrix learned under one
+// tour budget seeds a run under any other). It is echoed to clients as
+// X-Graph-Key, the handle the base= knob names a lineage by.
+func graphKey(g *antlayer.Graph, names []string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "g n=%d\n", g.N())
 	for v := 0; v < g.N(); v++ {
@@ -224,21 +290,6 @@ func requestKey(req Request, g *antlayer.Graph, names []string) string {
 	for _, e := range edges {
 		fmt.Fprintf(h, "e %d %d\n", e.U, e.V)
 	}
-	aco := req.ACO
-	aco.Workers = 0
-	// The island knobs are canonicalised before hashing: for algo=island
-	// the resolved values (defaults applied) go in, so ?algo=island and
-	// ?algo=island&islands=4&migration-interval=2 — the same computation —
-	// share one entry; for every other algorithm they are zeroed, because
-	// they cannot influence the result.
-	islands, interval := 0, 0
-	if req.Algo == "island" {
-		ip := req.options().IslandOf()
-		islands, interval = ip.Islands, ip.MigrationInterval
-	}
-	fmt.Fprintf(h, "p algo=%s promote=%t render=%s dummyWidth=%g cgWidth=%d islands=%d interval=%d aco=%+v\n",
-		req.Algo, req.Promote, req.Render, req.DummyWidth, req.CGWidth,
-		islands, interval, aco)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -299,12 +350,18 @@ type IslandRunner func(ctx context.Context, g *antlayer.Graph, p antlayer.Island
 // deadline. Island runs execute in-process; ComputeWith is the variant
 // that can shard them over a worker fleet.
 func Compute(ctx context.Context, req Request, g *antlayer.Graph, names []string) (body []byte, toursRun int, err error) {
-	return ComputeWith(ctx, req, g, names, nil)
+	body, toursRun, _, err = ComputeWith(ctx, req, g, names, nil)
+	return body, toursRun, err
 }
 
 // ComputeWith is Compute with an explicit island runner (nil =
-// in-process); see IslandRunner.
-func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []string, runIsland IslandRunner) (body []byte, toursRun int, err error) {
+// in-process); see IslandRunner. When the request's colony parameters
+// set ExportState, the returned state is the run's final search state
+// (the winning island's, for algo=island) — the daemon stores it in the
+// warm cache; state is nil otherwise and for the polynomial algorithms.
+// The state never appears in the body, so exporting cannot perturb the
+// served bytes.
+func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []string, runIsland IslandRunner) (body []byte, toursRun int, state *antlayer.ACOState, err error) {
 	if runIsland == nil {
 		runIsland = antlayer.IslandColonyRunContext
 	}
@@ -318,9 +375,10 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 	case "aco":
 		res, err := antlayer.AntColonyRunContext(ctx, g, req.ACO)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		toursRun = len(res.History)
+		state = res.State
 		l = res.Layering
 		if req.Promote {
 			l = antlayer.Promote(l)
@@ -332,11 +390,12 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 	case "island":
 		res, err := runIsland(ctx, g, req.options().IslandOf())
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		for _, st := range res.PerIsland {
 			toursRun += st.ToursRun
 		}
+		state = res.State
 		l = res.Layering
 		if req.Promote {
 			l = antlayer.Promote(l)
@@ -351,14 +410,14 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 	default:
 		layerer, err := antlayer.LayererByName(ctx, req.Algo, req.options())
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		if req.Promote {
 			layerer = antlayer.WithPromotion(layerer)
 		}
 		l, err = layerer.Layer(g)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 	}
 
@@ -383,7 +442,7 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 		render := obs.FromContext(ctx).Begin("render")
 		d, err := antlayer.Draw(g, fixedLayering{l}, nil)
 		if err != nil {
-			return nil, 0, fmt.Errorf("render: %w", err)
+			return nil, 0, nil, fmt.Errorf("render: %w", err)
 		}
 		var buf bytes.Buffer
 		switch req.Render {
@@ -395,16 +454,16 @@ func ComputeWith(ctx context.Context, req Request, g *antlayer.Graph, names []st
 			resp.ASCII = buf.String()
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("render: %w", err)
+			return nil, 0, nil, fmt.Errorf("render: %w", err)
 		}
 		render.End()
 	}
 
 	body, err = json.Marshal(resp)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return append(body, '\n'), toursRun, nil
+	return append(body, '\n'), toursRun, state, nil
 }
 
 // fixedLayering adapts an already-computed layering to the Layerer

@@ -38,6 +38,14 @@ type serverMetrics struct {
 	sseActive     atomic.Int64 // SSE streams currently connected (gauge)
 	bulkRequests  atomic.Int64 // POST /jobs/bulk requests
 	bulkJobs      atomic.Int64 // jobs admitted through /jobs/bulk lines
+	// Warm-start accounting: hits are requests served through a warm
+	// lineage (computed, coalesced or replayed), misses are warm-eligible
+	// requests for which no usable state was cached, toursSaved is the
+	// difference between the cold tour budgets of warm-started
+	// computations and the tours they actually ran.
+	warmHits       atomic.Int64
+	warmMisses     atomic.Int64
+	warmToursSaved atomic.Int64
 
 	mu       sync.Mutex
 	latRing  [latencyWindow]time.Duration // recent /layer latencies
@@ -101,14 +109,25 @@ type MetricsSnapshot struct {
 	// size-aware eviction keeps it under the configured budget);
 	// CacheOversizeRejects counts bodies refused admission because one
 	// entry would have displaced too much of the working set.
-	CacheBytes           int64           `json:"cache_bytes"`
-	CacheOversizeRejects int64           `json:"cache_oversize_rejects"`
-	Coalesced            int64           `json:"coalesced"`
-	Errors               int64           `json:"errors"`
-	Timeouts             int64           `json:"timeouts"`
-	ToursRun             int64           `json:"tours_run"`
-	InFlight             int64           `json:"in_flight"`
-	Latency              LatencyQuantile `json:"latency_ms"`
+	CacheBytes           int64 `json:"cache_bytes"`
+	CacheOversizeRejects int64 `json:"cache_oversize_rejects"`
+	// The warm-start fast path (see DESIGN.md §15): WarmHits counts
+	// requests served through a warm lineage, WarmMisses warm-eligible
+	// requests that found no usable state, WarmToursSaved the colony
+	// tours the warm starts avoided (cold budget minus tours actually
+	// run, summed over warm computations). WarmEntries/WarmBytes gauge
+	// the warm-state cache.
+	WarmHits       int64           `json:"warm_hits"`
+	WarmMisses     int64           `json:"warm_misses"`
+	WarmToursSaved int64           `json:"warm_tours_saved"`
+	WarmEntries    int             `json:"warm_entries"`
+	WarmBytes      int64           `json:"warm_bytes"`
+	Coalesced      int64           `json:"coalesced"`
+	Errors         int64           `json:"errors"`
+	Timeouts       int64           `json:"timeouts"`
+	ToursRun       int64           `json:"tours_run"`
+	InFlight       int64           `json:"in_flight"`
+	Latency        LatencyQuantile `json:"latency_ms"`
 	// DistributedRuns counts island runs served by the shard worker
 	// fleet; DistributedFallbacks counts distributed=true requests that
 	// ran in-process because no workers were registered (the bytes are
@@ -149,7 +168,7 @@ type LatencyQuantile struct {
 	P99   float64 `json:"p99"`
 }
 
-func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, jobs batch.Stats, events batch.EventStats, webhooks WebhookMetrics, cluster *shard.ClusterMetrics, rt obs.RuntimeStats) MetricsSnapshot {
+func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int64, warmEntries int, warmBytes int64, jobs batch.Stats, events batch.EventStats, webhooks WebhookMetrics, cluster *shard.ClusterMetrics, rt obs.RuntimeStats) MetricsSnapshot {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -166,6 +185,11 @@ func (m *serverMetrics) snapshot(cacheEntries int, cacheBytes, cacheOversize int
 		CacheEntries:         cacheEntries,
 		CacheBytes:           cacheBytes,
 		CacheOversizeRejects: cacheOversize,
+		WarmHits:             m.warmHits.Load(),
+		WarmMisses:           m.warmMisses.Load(),
+		WarmToursSaved:       m.warmToursSaved.Load(),
+		WarmEntries:          warmEntries,
+		WarmBytes:            warmBytes,
 		Coalesced:            m.coalesced.Load(),
 		Errors:               m.errors.Load(),
 		Timeouts:             m.timeouts.Load(),

@@ -42,6 +42,17 @@ func writeProm(w io.Writer, m MetricsSnapshot) error {
 	p.Family("daglayer_coalesced_total", "counter", "Requests served by an identical in-flight computation.")
 	p.Value("daglayer_coalesced_total", float64(m.Coalesced))
 
+	p.Family("daglayer_warm_hits_total", "counter", "Requests served through a warm-start lineage.")
+	p.Value("daglayer_warm_hits_total", float64(m.WarmHits))
+	p.Family("daglayer_warm_misses_total", "counter", "Warm-eligible requests that found no usable state.")
+	p.Value("daglayer_warm_misses_total", float64(m.WarmMisses))
+	p.Family("daglayer_warm_tours_saved_total", "counter", "Colony tours avoided by warm starts.")
+	p.Value("daglayer_warm_tours_saved_total", float64(m.WarmToursSaved))
+	p.Family("daglayer_warm_entries", "gauge", "States the warm cache currently holds.")
+	p.Value("daglayer_warm_entries", float64(m.WarmEntries))
+	p.Family("daglayer_warm_bytes", "gauge", "Resident bytes of the warm cache.")
+	p.Value("daglayer_warm_bytes", float64(m.WarmBytes))
+
 	p.Family("daglayer_errors_total", "counter", "Requests answered with a 4xx or 5xx status.")
 	p.Value("daglayer_errors_total", float64(m.Errors))
 	p.Family("daglayer_timeouts_total", "counter", "Layer requests answered 504.")

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -121,6 +122,33 @@ type Config struct {
 	// TraceSlowest disables the slowest list.
 	TraceRing    int
 	TraceSlowest int
+	// TraceSample is the probability a /layer or /jobs request mints a
+	// trace (head sampling): 1 traces everything, 0.01 one in a hundred.
+	// Sampled-out requests still echo an X-Request-ID (honored or
+	// minted), they just record no spans and never enter the trace ring —
+	// the knob that keeps high-rps warm traffic from churning it.
+	// 0 means the default (1.0); negative disables tracing entirely.
+	TraceSample float64
+	// WarmCacheBytes budgets the warm-start state cache — prior runs'
+	// pheromone matrices keyed by canonical graph hash, the fast path
+	// for repeat-with-edits traffic. 0 means the default (64 MiB);
+	// negative disables warm starting altogether.
+	WarmCacheBytes int64
+	// WarmToursFrac is the fraction of the requested tour budget a
+	// warm-started run gets (the warm colony resumes near the target, so
+	// it needs far fewer tours; stall-tours early stop trims the rest).
+	// 0 means the default (1/3); values are clamped to (0, 1].
+	WarmToursFrac float64
+	// WarmStallTours is the StopAfterStagnantTours value injected into
+	// warm-started runs that did not set their own, converting the
+	// reduced budget into actual early exits. 0 means the default (3);
+	// negative injects nothing.
+	WarmStallTours int
+	// WarmMinSimilarity is the vertex-name overlap ratio a cached graph
+	// must reach for the similarity probe to warm-start from it
+	// (|shared| / max(|a|, |b|)). 0 means the default (0.5); the
+	// explicit base= knob bypasses the threshold.
+	WarmMinSimilarity float64
 	// EnablePprof mounts net/http/pprof under /debug/pprof. Off by
 	// default: the profiling endpoints expose internals and cost CPU
 	// when scraped, so production daemons opt in deliberately
@@ -186,14 +214,36 @@ func (c Config) withDefaults() Config {
 	if c.WebhookRetryMax <= 0 {
 		c.WebhookRetryMax = 5 * time.Second
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
+	if c.TraceSample > 1 {
+		c.TraceSample = 1
+	}
+	if c.WarmCacheBytes == 0 {
+		c.WarmCacheBytes = 64 << 20
+	}
+	if c.WarmToursFrac <= 0 || c.WarmToursFrac > 1 {
+		c.WarmToursFrac = 1.0 / 3.0
+	}
+	if c.WarmStallTours == 0 {
+		c.WarmStallTours = 3
+	}
+	if c.WarmMinSimilarity <= 0 {
+		c.WarmMinSimilarity = 0.5
+	}
 	return c
 }
 
 // Server is the layering daemon. Create with New, mount via Handler, or
 // run with Serve/ListenAndServe.
 type Server struct {
-	cfg      Config
-	cache    *resultCache
+	cfg   Config
+	cache *resultCache
+	// warm is the warm-start state cache (nil when disabled): prior
+	// colony states keyed by canonical graph hash, probed by vertex-name
+	// similarity. See warm.go.
+	warm     *warmCache
 	flights  *flightGroup
 	metrics  *serverMetrics
 	jobs     *batch.Queue
@@ -229,6 +279,9 @@ func New(cfg Config) *Server {
 		}),
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		shutdownCh: make(chan struct{}),
+	}
+	if cfg.WarmCacheBytes > 0 {
+		s.warm = newWarmCache(cfg.WarmCacheBytes)
 	}
 	s.webhooks = newWebhookManager(s)
 	s.mux = http.NewServeMux()
@@ -331,7 +384,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		cluster = &cm
 	}
 	cacheBytes, cacheOversize := s.cache.Bytes()
-	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, s.jobs.Stats(), s.jobs.Events().Stats(), s.webhooks.Metrics(), cluster, obs.ReadRuntime())
+	warmEntries, warmBytes := s.warm.stats()
+	return s.metrics.snapshot(s.cache.Len(), cacheBytes, cacheOversize, warmEntries, warmBytes, s.jobs.Stats(), s.jobs.Events().Stats(), s.webhooks.Metrics(), cluster, obs.ReadRuntime())
 }
 
 // log returns the structured logger (never nil).
@@ -437,7 +491,14 @@ func (s *Server) parseLayerHTTP(w http.ResponseWriter, r *http.Request) (req Req
 //
 // source is "hit", "coalesced" or "miss" on success; stage names what
 // was happening when err struck, in the vocabulary deadlineError logs.
-func (s *Server) computeCached(ctx context.Context, key string, req Request, g *antlayer.Graph, names []string, acquire func(context.Context) (func(), error)) (body []byte, source, stage string, err error) {
+//
+// gk is the request's canonical graph hash (graphKey): a computation
+// that exported a warm-start state files it there. warm is non-nil when
+// the caller's warmPlan warm-started the request (key and req are then
+// already the rewritten ones); it drives the warm hit and tours-saved
+// accounting — a warm "hit" is any request served through a warm
+// lineage, whether the body was computed, coalesced or replayed.
+func (s *Server) computeCached(ctx context.Context, key string, req Request, g *antlayer.Graph, names []string, gk string, warm *warmRun, acquire func(context.Context) (func(), error)) (body []byte, source, stage string, err error) {
 	tr := obs.FromContext(ctx)
 	for {
 		lookup := tr.Begin("cache_lookup")
@@ -445,6 +506,9 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 		lookup.End()
 		if ok {
 			s.metrics.cacheHits.Add(1)
+			if warm != nil {
+				s.metrics.warmHits.Add(1)
+			}
 			return body, "hit", "", nil
 		}
 		leader, fl := s.flights.join(key)
@@ -455,6 +519,9 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 				tr.Observe("coalesce_wait", "", 0, waitStart, tr.Since()-waitStart)
 				if fl.err == nil {
 					s.metrics.coalesced.Add(1)
+					if warm != nil {
+						s.metrics.warmHits.Add(1)
+					}
 					return fl.body, "coalesced", "", nil
 				}
 				// The leader failed — possibly on a deadline shorter
@@ -489,7 +556,7 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 			}
 		}
 		computeStart := tr.Since()
-		body, toursRun, err := ComputeWith(ctx, req, g, names, s.islandRunner(req))
+		body, toursRun, state, err := ComputeWith(ctx, req, g, names, s.islandRunner(req))
 		tr.Observe("compute", "", 0, computeStart, tr.Since()-computeStart)
 		s.metrics.toursRun.Add(int64(toursRun))
 		s.metrics.inFlight.Add(-1)
@@ -497,6 +564,25 @@ func (s *Server) computeCached(ctx context.Context, key string, req Request, g *
 		if err != nil {
 			s.flights.finish(key, fl, nil, err)
 			return nil, "", "computing", err
+		}
+		if state != nil && gk != "" && warm == nil {
+			// File a cold run's final state under the graph it solved, so
+			// the next request for this graph — or an edit of it — can
+			// warm-start. Only cold runs publish: they are the stable
+			// anchors of a lineage. If warm runs republished their own
+			// states, every replay would probe its own fresher entry,
+			// shift the generation-stamped result key, and recompute —
+			// answers would drift instead of replaying byte-identically.
+			// When an edit chain wanders far enough from its anchor that
+			// the similarity probe misses, the cold run that follows
+			// re-anchors it.
+			s.warm.put(gk, names, state)
+		}
+		if warm != nil {
+			s.metrics.warmHits.Add(1)
+			if saved := int64(warm.coldTours - toursRun); saved > 0 {
+				s.metrics.warmToursSaved.Add(saved)
+			}
 		}
 		s.cache.Put(key, body)
 		// The miss is counted only now, when a body was computed and
@@ -543,6 +629,35 @@ func (s *Server) islandRunner(req Request) IslandRunner {
 	}
 }
 
+// sampleTrace decides whether a request mints a trace, per
+// Config.TraceSample. The sampling RNG is deliberately outside the
+// deterministic seed discipline: it selects which requests are observed,
+// never what any of them compute.
+func (s *Server) sampleTrace() bool {
+	switch sample := s.cfg.TraceSample; {
+	case sample >= 1:
+		return true
+	case sample <= 0:
+		return false
+	default:
+		return rand.Float64() < sample
+	}
+}
+
+// requestID resolves the X-Request-ID echo: the trace's ID when one was
+// minted, otherwise the inbound header when well-formed, otherwise a
+// fresh ID — so sampled-out requests still correlate in logs and
+// upstream proxies.
+func (s *Server) requestID(r *http.Request, tr *obs.Trace) string {
+	if tr != nil {
+		return tr.ID()
+	}
+	if id := r.Header.Get("X-Request-ID"); obs.ValidID(id) {
+		return id
+	}
+	return obs.NewID()
+}
+
 // acquireSem is the /layer compute bound: the semaphore caps computation,
 // not connections — a queued request costs one blocked goroutine and
 // still honours its deadline.
@@ -568,12 +683,18 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.observeLatency(time.Since(start)) }()
 
-	// One trace per request: the inbound X-Request-ID is honored when
-	// well-formed (so callers and upstream proxies can correlate), minted
-	// otherwise, and always echoed so the caller can GET /traces/{id}.
-	tr := s.tracer.New(r.Header.Get("X-Request-ID"))
-	defer s.tracer.Finish(tr)
-	w.Header().Set("X-Request-ID", tr.ID())
+	// One trace per sampled request: the inbound X-Request-ID is honored
+	// when well-formed (so callers and upstream proxies can correlate),
+	// minted otherwise, and always echoed — even when head sampling
+	// (Config.TraceSample) decides this request records no spans, so
+	// correlation never depends on the sampling verdict. A nil trace is
+	// inert everywhere downstream (obs.Trace is nil-safe).
+	var tr *obs.Trace
+	if s.sampleTrace() {
+		tr = s.tracer.New(r.Header.Get("X-Request-ID"))
+		defer s.tracer.Finish(tr)
+	}
+	w.Header().Set("X-Request-ID", s.requestID(r, tr))
 
 	parse := tr.Begin("parse")
 	req, g, names, ok := s.parseLayerHTTP(w, r)
@@ -582,12 +703,28 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := requestKey(req, g, names)
+	gk := graphKey(g, names)
 	w.Header().Set("X-Cache-Key", key)
+	// The graph's canonical hash is the handle a client passes back as
+	// base= to name this graph as the warm-start lineage of its next
+	// edit.
+	w.Header().Set("X-Graph-Key", gk)
+
+	wspan := tr.Begin("warm")
+	req, key, warm, probed := s.warmPlan(req, g, names, key, gk)
+	wspan.End()
+	switch {
+	case warm != nil:
+		w.Header().Set("X-Warm", "hit")
+		w.Header().Set("X-Warm-Base", warm.baseKey)
+	case probed:
+		w.Header().Set("X-Warm", "miss")
+	}
 
 	ctx, cancel := context.WithTimeout(obs.NewContext(r.Context(), tr), s.timeout(req))
 	defer cancel()
 
-	body, source, stage, err := s.computeCached(ctx, key, req, g, names, s.acquireSem)
+	body, source, stage, err := s.computeCached(ctx, key, req, g, names, gk, warm, s.acquireSem)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.deadlineError(w, r, err, stage)
@@ -607,7 +744,7 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log().Info("layer served",
-		"trace", tr.ID(), "source", source, "n", g.N(), "m", g.M(),
+		"trace", tr.ID(), "source", source, "warm", warm != nil, "n", g.N(), "m", g.M(),
 		"algo", string(req.Algo), "dur", time.Since(start).Round(time.Microsecond))
 	s.writeBody(w, body, source)
 }
